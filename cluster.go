@@ -1,0 +1,354 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"abcast/internal/core"
+	"abcast/internal/fd"
+	"abcast/internal/live"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/stack"
+)
+
+// Stack selects the ordering protocol of a Cluster.
+type Stack int
+
+// Available stacks. The default (zero) Options value selects IndirectCT,
+// the paper's recommended configuration.
+const (
+	// IndirectCT: indirect consensus based on Chandra–Toueg ◇S
+	// (Algorithm 2). Tolerates f < n/2 crashes.
+	IndirectCT Stack = iota + 1
+	// IndirectMR: indirect consensus based on Mostéfaoui–Raynal ◇S
+	// (Algorithm 3). Tolerates only f < n/3 crashes — the price of the
+	// adaptation, per the paper's Section 3.3.
+	IndirectMR
+	// ConsensusOnMessages: the classic reduction, consensus on full
+	// message sets. Correct; slow for large payloads.
+	ConsensusOnMessages
+	// ConsensusWithURB: unmodified consensus on identifiers over uniform
+	// reliable broadcast. Correct; pays an extra communication step.
+	ConsensusWithURB
+	// FaultyConsensusOnIDs: unmodified consensus directly on identifiers
+	// over plain reliable broadcast. NOT crash-safe — it can violate
+	// Validity (Section 2.2). Exposed for experimentation and
+	// demonstration only (see examples/crashdemo).
+	FaultyConsensusOnIDs
+)
+
+// String implements fmt.Stringer.
+func (s Stack) String() string {
+	switch s {
+	case IndirectCT:
+		return "indirect-consensus-ct"
+	case IndirectMR:
+		return "indirect-consensus-mr"
+	case ConsensusOnMessages:
+		return "consensus-on-messages"
+	case ConsensusWithURB:
+		return "consensus-with-urb"
+	case FaultyConsensusOnIDs:
+		return "faulty-consensus-on-ids"
+	default:
+		return fmt.Sprintf("Stack(%d)", int(s))
+	}
+}
+
+// variant maps the public stack to the engine variant.
+func (s Stack) variant() (core.Variant, error) {
+	switch s {
+	case IndirectCT:
+		return core.VariantIndirectCT, nil
+	case IndirectMR:
+		return core.VariantIndirectMR, nil
+	case ConsensusOnMessages:
+		return core.VariantConsensusMsgs, nil
+	case ConsensusWithURB:
+		return core.VariantURBIDs, nil
+	case FaultyConsensusOnIDs:
+		return core.VariantFaultyIDs, nil
+	default:
+		return 0, fmt.Errorf("abcast: unknown stack %v", s)
+	}
+}
+
+// Diffusion selects the reliable broadcast used to spread message payloads
+// (ignored by ConsensusWithURB, which always uses uniform broadcast).
+type Diffusion int
+
+// Available diffusion strategies.
+const (
+	// DiffusionEager relays every message on first receipt: O(n²)
+	// messages, no failure-detector dependence.
+	DiffusionEager Diffusion = iota + 1
+	// DiffusionLazy relays only when the sender is suspected: O(n)
+	// messages in good runs.
+	DiffusionLazy
+)
+
+// Options configures a Cluster. The zero value is a sensible default:
+// IndirectCT over eager reliable broadcast, 200µs simulated link latency.
+type Options struct {
+	// Stack selects the ordering protocol (default IndirectCT).
+	Stack Stack
+	// Diffusion selects the reliable broadcast (default DiffusionEager).
+	Diffusion Diffusion
+	// Latency is the in-memory network's one-way latency (default 200µs).
+	Latency time.Duration
+	// Jitter adds ±jitter to each message's latency.
+	Jitter time.Duration
+	// Heartbeat overrides the failure-detector configuration.
+	Heartbeat *fd.Config
+	// Seed makes jitter and protocol tie-breaking deterministic.
+	Seed int64
+	// OnDeliver, if set, is called for every delivery, on the delivering
+	// process's event loop (do not block in it). Deliveries are also
+	// always available through Next.
+	OnDeliver func(process int, d Delivery)
+}
+
+// Delivery is one adelivered message.
+type Delivery struct {
+	// Sender and Seq identify the message (id(m) in the paper).
+	Sender int
+	Seq    uint64
+	// Payload is the broadcast content.
+	Payload []byte
+}
+
+// Cluster is an in-memory atomic broadcast group running one goroutine per
+// process.
+type Cluster struct {
+	net     *live.Network
+	opts    Options
+	engines []*core.Engine
+	dets    []*fd.Heartbeat
+	queues  []*deliveryQueue
+	n       int
+}
+
+// New starts an n-process cluster.
+func New(n int, opts Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("abcast: need at least one process, got %d", n)
+	}
+	if opts.Stack == 0 {
+		opts.Stack = IndirectCT
+	}
+	if opts.Diffusion == 0 {
+		opts.Diffusion = DiffusionEager
+	}
+	if opts.Latency == 0 {
+		opts.Latency = 200 * time.Microsecond
+	}
+	variant, err := opts.Stack.variant()
+	if err != nil {
+		return nil, err
+	}
+	rbKind := rbcast.KindEager
+	if opts.Diffusion == DiffusionLazy {
+		rbKind = rbcast.KindLazy
+	}
+	hb := fd.DefaultConfig()
+	if opts.Heartbeat != nil {
+		hb = *opts.Heartbeat
+	}
+
+	net := live.NewNetwork(n,
+		live.WithLatency(opts.Latency),
+		live.WithJitter(opts.Jitter),
+		live.WithSeed(opts.Seed),
+	)
+	c := &Cluster{
+		net:     net,
+		opts:    opts,
+		engines: make([]*core.Engine, n+1),
+		dets:    make([]*fd.Heartbeat, n+1),
+		queues:  make([]*deliveryQueue, n+1),
+		n:       n,
+	}
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		i := i
+		c.queues[i] = newDeliveryQueue()
+		wg.Add(1)
+		// Wire each process's layers on its own event loop so no
+		// protocol event can precede complete wiring.
+		net.Do(stack.ProcessID(i), func() {
+			defer wg.Done()
+			node := net.Node(stack.ProcessID(i))
+			c.dets[i] = fd.NewHeartbeat(node, hb)
+			eng, err := core.New(node, core.Config{
+				Variant:  variant,
+				RB:       rbKind,
+				Detector: c.dets[i],
+				Deliver: func(app *msg.App) {
+					d := Delivery{
+						Sender:  int(app.ID.Sender),
+						Seq:     app.ID.Seq,
+						Payload: app.Payload,
+					}
+					c.queues[i].put(d)
+					if c.opts.OnDeliver != nil {
+						c.opts.OnDeliver(i, d)
+					}
+				},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			c.engines[i] = eng
+		})
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		net.Close()
+		return nil, err
+	default:
+	}
+	return c, nil
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.n }
+
+// Broadcast atomically broadcasts payload from process p. The payload is
+// copied, so the caller may reuse the slice.
+func (c *Cluster) Broadcast(p int, payload []byte) error {
+	if p < 1 || p > c.n {
+		return fmt.Errorf("abcast: process %d out of range 1..%d", p, c.n)
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	c.net.Do(stack.ProcessID(p), func() {
+		c.engines[p].ABroadcast(buf)
+	})
+	return nil
+}
+
+// Next returns process p's next delivery, waiting up to timeout. ok is
+// false on timeout.
+func (c *Cluster) Next(p int, timeout time.Duration) (d Delivery, ok bool) {
+	if p < 1 || p > c.n {
+		return Delivery{}, false
+	}
+	return c.queues[p].next(timeout)
+}
+
+// Stats is a snapshot of one process's engine counters.
+type Stats struct {
+	// Received counts messages received (diffused) by the process.
+	Received int
+	// Delivered counts messages adelivered, in total order.
+	Delivered int
+	// Pending counts messages received or ordered but not yet delivered.
+	Pending int
+	// Instances counts consensus instances consumed so far.
+	Instances uint64
+}
+
+// Stats returns process p's counters, or ok=false if p is out of range or
+// the snapshot could not be taken within timeout (e.g. p crashed).
+func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
+	if p < 1 || p > c.n {
+		return Stats{}, false
+	}
+	ch := make(chan Stats, 1)
+	c.net.Do(stack.ProcessID(p), func() {
+		st := c.engines[p].Stats()
+		ch <- Stats{
+			Received:  st.Received,
+			Delivered: st.Delivered,
+			Pending:   st.Unordered + st.OrderedQ,
+			Instances: st.Instances,
+		}
+	})
+	select {
+	case st := <-ch:
+		return st, true
+	case <-time.After(timeout):
+		return Stats{}, false
+	}
+}
+
+// Crash stops process p (it handles no further events; in-flight messages
+// from it are lost). Irreversible.
+func (c *Cluster) Crash(p int) {
+	if p >= 1 && p <= c.n {
+		c.net.Crash(stack.ProcessID(p))
+	}
+}
+
+// Close shuts the cluster down and waits for all process goroutines.
+func (c *Cluster) Close() {
+	c.net.Close()
+	for _, q := range c.queues[1:] {
+		q.close()
+	}
+}
+
+// deliveryQueue is an unbounded queue with timeout-capable consumption.
+type deliveryQueue struct {
+	mu     sync.Mutex
+	items  []Delivery
+	signal chan struct{}
+	closed bool
+}
+
+func newDeliveryQueue() *deliveryQueue {
+	return &deliveryQueue{signal: make(chan struct{}, 1)}
+}
+
+func (q *deliveryQueue) put(d Delivery) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, d)
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (q *deliveryQueue) next(timeout time.Duration) (Delivery, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			d := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return d, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return Delivery{}, false
+		}
+		select {
+		case <-q.signal:
+		case <-deadline.C:
+			return Delivery{}, false
+		}
+	}
+}
+
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}

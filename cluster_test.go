@@ -1,0 +1,223 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func stacks() []Stack {
+	return []Stack{IndirectCT, IndirectMR, ConsensusOnMessages, ConsensusWithURB}
+}
+
+// collect drains exactly count deliveries from process p.
+func collect(t *testing.T, c *Cluster, p, count int) []Delivery {
+	t.Helper()
+	out := make([]Delivery, 0, count)
+	for len(out) < count {
+		d, ok := c.Next(p, 10*time.Second)
+		if !ok {
+			t.Fatalf("p%d: timed out after %d/%d deliveries", p, len(out), count)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestClusterTotalOrderLive(t *testing.T) {
+	for _, s := range stacks() {
+		t.Run(s.String(), func(t *testing.T) {
+			c, err := New(3, Options{Stack: s, Latency: 100 * time.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			const perProc = 5
+			for p := 1; p <= 3; p++ {
+				for i := 0; i < perProc; i++ {
+					if err := c.Broadcast(p, []byte(fmt.Sprintf("m%d-%d", p, i))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			total := 3 * perProc
+			seqs := make([][]Delivery, 4)
+			for p := 1; p <= 3; p++ {
+				seqs[p] = collect(t, c, p, total)
+			}
+			for p := 2; p <= 3; p++ {
+				for i := range seqs[1] {
+					a, b := seqs[1][i], seqs[p][i]
+					if a.Sender != b.Sender || a.Seq != b.Seq {
+						t.Fatalf("order diverges at %d: p1=%v:%d p%d=%v:%d",
+							i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestClusterPayloadIntegrity(t *testing.T) {
+	c, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := []byte("mutate-me")
+	if err := c.Broadcast(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // caller reuse must not corrupt the broadcast
+	d, ok := c.Next(2, 10*time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if string(d.Payload) != "mutate-me" {
+		t.Fatalf("payload corrupted: %q", d.Payload)
+	}
+	if d.Sender != 1 || d.Seq != 1 {
+		t.Fatalf("delivery id = %d:%d", d.Sender, d.Seq)
+	}
+}
+
+func TestClusterCrashTolerance(t *testing.T) {
+	c, err := New(3, Options{Stack: IndirectCT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3} {
+		if d, ok := c.Next(p, 10*time.Second); !ok || string(d.Payload) != "before" {
+			t.Fatalf("p%d missing pre-crash delivery", p)
+		}
+	}
+	c.Crash(2)
+	if err := c.Broadcast(3, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3} {
+		if d, ok := c.Next(p, 15*time.Second); !ok || string(d.Payload) != "after" {
+			t.Fatalf("p%d did not deliver post-crash broadcast", p)
+		}
+	}
+}
+
+func TestClusterOnDeliverCallback(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int]int{}
+	c, err := New(3, Options{OnDeliver: func(p int, d Delivery) {
+		mu.Lock()
+		got[p]++
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(2, []byte("cb")); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 3; p++ {
+		collect(t, c, p, 1)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 1; p <= 3; p++ {
+		if got[p] != 1 {
+			t.Fatalf("OnDeliver fired %d times at p%d", got[p], p)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(0, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(3, Options{Stack: Stack(42)}); err == nil {
+		t.Error("bogus stack accepted")
+	}
+	c, err := New(1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(2, nil); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+	if _, ok := c.Next(9, time.Millisecond); ok {
+		t.Error("Next on bogus process succeeded")
+	}
+}
+
+func TestClusterSingleProcess(t *testing.T) {
+	c, err := New(1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Broadcast(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := collect(t, c, 1, 3)
+	for i, d := range ds {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, d.Seq)
+		}
+	}
+}
+
+func TestNextTimeout(t *testing.T) {
+	c, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, ok := c.Next(1, 50*time.Millisecond); ok {
+		t.Fatal("delivery out of nowhere")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("Next returned before its timeout")
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	c, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(1, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, c, 2, 1)
+	st, ok := c.Stats(2, 5*time.Second)
+	if !ok {
+		t.Fatal("Stats timed out")
+	}
+	if st.Delivered != 1 || st.Received != 1 || st.Instances == 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if _, ok := c.Stats(99, time.Millisecond); ok {
+		t.Fatal("Stats accepted bogus process")
+	}
+	c.Crash(3)
+	if _, ok := c.Stats(3, 100*time.Millisecond); ok {
+		t.Fatal("Stats of crashed process succeeded")
+	}
+}
+
+func TestStackStrings(t *testing.T) {
+	for _, s := range append(stacks(), FaultyConsensusOnIDs) {
+		if s.String() == "" || s.String()[0] == 'S' {
+			t.Fatalf("missing String for %d", int(s))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command abench regenerates the paper's evaluation figures on the
+// simulated test beds.
+//
+// Usage:
+//
+//	abench -list              # list available figures
+//	abench -fig 3a            # regenerate one figure
+//	abench -fig all           # regenerate everything (slow)
+//	abench -fig 1b -scale 0.2 # quick low-resolution run
+//
+// Output is one table per figure: rows are x-axis values, columns the mean
+// atomic broadcast latency of each stack. A '*' marks saturated points
+// where some messages were still undelivered at the measurement horizon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abcast/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "abench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("abench", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 3b, 7a) or 'all'")
+		scale = fs.Float64("scale", 1.0, "workload scale in (0,1]: smaller = faster, noisier")
+		seed  = fs.Int64("seed", 1, "deterministic simulation seed")
+		list  = fs.Bool("list", false, "list available figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range bench.FigureIDs() {
+			fmt.Printf("%-4s %s\n", id, bench.Figures()[id].Title)
+		}
+		return nil
+	}
+	if *fig == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -fig (or -list)")
+	}
+	ids := []string{*fig}
+	if strings.EqualFold(*fig, "all") {
+		ids = bench.FigureIDs()
+	}
+	for _, id := range ids {
+		if err := bench.RunAndPrint(os.Stdout, id, *scale, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFig(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -fig accepted")
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if err := run([]string{"-fig", "99z"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	// A minuscule scale keeps this a smoke test rather than a benchmark.
+	if err := run([]string{"-fig", "3a", "-scale", "0.02", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package abcast is a uniform atomic broadcast library built on *indirect
+// consensus*, reproducing "Solving Atomic Broadcast with Indirect
+// Consensus" (Ekwall & Schiper, DSN 2006).
+//
+// Atomic broadcast delivers messages to all processes in the same total
+// order. The classic reduction runs consensus on sets of full messages,
+// which saturates the network as payloads grow. Running consensus on
+// message *identifiers* fixes the cost but, done naively, breaks the
+// Validity property when a process crashes: an identifier can be ordered
+// whose message no correct process holds, blocking delivery forever.
+// Indirect consensus adds a "No loss" guarantee — a decided identifier set
+// always has its messages at one correct process — restoring correctness at
+// nearly the naive stack's speed.
+//
+// The top-level package offers a ready-to-use in-memory cluster running on
+// goroutines and channels:
+//
+//	c, err := abcast.New(3, abcast.Options{})
+//	if err != nil { ... }
+//	defer c.Close()
+//	c.Broadcast(1, []byte("hello"))
+//	d, ok := c.Next(2, time.Second) // same order at every process
+//
+// The building blocks live under internal/: the ◇S consensus algorithms
+// (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
+// reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1
+// engine, a deterministic discrete-event simulator, and the benchmark
+// harness that regenerates every figure of the paper (cmd/abench).
+package abcast

@@ -1,0 +1,218 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation: a symmetric workload generator, a single-experiment runner,
+// and the parameter sweeps of every figure in Section 4 (plus Figure 1 of
+// Section 2).
+//
+// The performance metric matches the paper's: latency is the average, over
+// all processes, of the elapsed time between abroadcast(m) and adeliver(m);
+// the workload is symmetric — all processes abroadcast at the same rate,
+// whose sum is the throughput.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"abcast/internal/core"
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/netmodel"
+	"abcast/internal/rbcast"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+	"abcast/internal/stats"
+)
+
+// Experiment is one benchmark configuration point.
+type Experiment struct {
+	Name    string
+	N       int             // number of processes
+	Params  netmodel.Params // network/CPU cost model (Setup 1 or Setup 2)
+	Variant core.Variant    // atomic broadcast stack
+	RB      rbcast.Kind     // diffusion broadcast for id-based variants
+
+	Throughput float64 // abroadcasts per second, summed over all processes
+	Payload    int     // payload bytes per message
+
+	Messages int   // messages measured (after warmup)
+	Warmup   int   // messages excluded from statistics
+	Seed     int64 // deterministic workload seed
+
+	// MaxBatch caps identifiers per consensus instance (0 = unlimited);
+	// see core.Config.MaxBatch.
+	MaxBatch int
+
+	// MaxVirtual caps the simulated time after the last send; messages
+	// undelivered by then (saturation) still count into the mean with
+	// the cap as a floor, so saturated points read as "very slow" rather
+	// than being silently dropped.
+	MaxVirtual time.Duration
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Experiment  Experiment
+	Latency     stats.Summary // milliseconds
+	Delivered   int           // measured messages fully delivered everywhere
+	Undelivered int           // measured messages missing somewhere at the horizon
+	MsgsSent    int64
+	BytesSent   int64
+	Virtual     time.Duration // simulated duration
+	Wall        time.Duration // host duration
+}
+
+// Run executes one experiment on the simulator.
+func Run(e Experiment) (Result, error) {
+	if e.N < 1 || e.Throughput <= 0 || e.Messages <= 0 {
+		return Result{}, fmt.Errorf("bench: invalid experiment %+v", e)
+	}
+	if e.MaxVirtual <= 0 {
+		e.MaxVirtual = 30 * time.Second
+	}
+	start := time.Now()
+
+	w := simnet.NewWorld(e.N, e.Params, e.Seed)
+
+	total := e.Messages + e.Warmup
+	sentAt := make(map[msg.ID]time.Duration, total)
+	// deliveredAt[p][id] = virtual delivery instant
+	deliveredAt := make([]map[msg.ID]time.Duration, e.N+1)
+
+	engines := make([]*core.Engine, e.N+1)
+	for i := 1; i <= e.N; i++ {
+		i := i
+		deliveredAt[i] = make(map[msg.ID]time.Duration, total)
+		node := w.Node(stack.ProcessID(i))
+		det := fd.NewHeartbeat(node, fd.DefaultConfig())
+		eng, err := core.New(node, core.Config{
+			Variant:      e.Variant,
+			RB:           e.RB,
+			Detector:     det,
+			RcvCheckCost: e.Params.RcvCheckPerID,
+			MaxBatch:     e.MaxBatch,
+			Deliver: func(app *msg.App) {
+				deliveredAt[i][app.ID] = virt(w)
+			},
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: %w", err)
+		}
+		engines[i] = eng
+	}
+
+	// Symmetric Poisson workload: each process broadcasts at
+	// Throughput/N, with exponential inter-arrival times.
+	rng := rand.New(rand.NewSource(e.Seed*6364136223846793005 + 1442695040888963407))
+	perProc := e.Throughput / float64(e.N)
+	next := make([]time.Duration, e.N+1)
+	var lastSend time.Duration
+	for k := 0; k < total; k++ {
+		// Round-robin senders; each keeps its own Poisson clock.
+		p := stack.ProcessID(k%e.N + 1)
+		// Exponential inter-arrival with mean 1/perProc on each sender's
+		// own clock.
+		gap := time.Duration(rng.ExpFloat64() / perProc * float64(time.Second))
+		next[p] += gap
+		at := next[p]
+		if at > lastSend {
+			lastSend = at
+		}
+		warm := k < e.Warmup
+		payload := make([]byte, e.Payload)
+		w.After(p, at, func() {
+			id := engines[p].ABroadcast(payload)
+			if !warm {
+				sentAt[id] = virt(w)
+			}
+		})
+	}
+
+	// Run in slices until every measured message is delivered everywhere
+	// or the horizon passes.
+	horizon := lastSend + e.MaxVirtual
+	for virt(w) < horizon {
+		w.RunFor(250 * time.Millisecond)
+		if len(sentAt) == e.Messages && allDelivered(sentAt, deliveredAt, e.N) {
+			break
+		}
+	}
+
+	// Latency per message: average over all processes of
+	// adeliver - abroadcast (the paper's metric).
+	var lat stats.Sample
+	delivered, undelivered := 0, 0
+	end := virt(w)
+	// Iterate in canonical id order so floating-point accumulation is
+	// deterministic across runs.
+	ids := make([]msg.ID, 0, len(sentAt))
+	for id := range sentAt {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		t0 := sentAt[id]
+		sum := 0.0
+		missing := false
+		for p := 1; p <= e.N; p++ {
+			td, ok := deliveredAt[p][id]
+			if !ok {
+				missing = true
+				td = end // saturation floor
+			}
+			sum += float64(td-t0) / float64(time.Millisecond)
+		}
+		lat.Add(sum / float64(e.N))
+		if missing {
+			undelivered++
+		} else {
+			delivered++
+		}
+	}
+
+	return Result{
+		Experiment:  e,
+		Latency:     lat.Summarize(),
+		Delivered:   delivered,
+		Undelivered: undelivered,
+		MsgsSent:    w.MsgsSent(),
+		BytesSent:   w.BytesSent(),
+		Virtual:     end,
+		Wall:        time.Since(start),
+	}, nil
+}
+
+// virt returns the current virtual time as a duration since simulation
+// start.
+func virt(w *simnet.World) time.Duration {
+	return w.Now().Sub(time.Unix(0, 0))
+}
+
+// allDelivered reports whether every measured message reached every
+// process.
+func allDelivered(sentAt map[msg.ID]time.Duration, deliveredAt []map[msg.ID]time.Duration, n int) bool {
+	for id := range sentAt {
+		for p := 1; p <= n; p++ {
+			if _, ok := deliveredAt[p][id]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// defaultMessages scales the measured message count with throughput so that
+// low-rate points stay fast and high-rate points still sample a steady
+// state.
+func defaultMessages(throughput float64, scale float64) (measured, warmup int) {
+	m := int(throughput * 1.5 * scale)
+	if m < 120 {
+		m = 120
+	}
+	if m > 2400 {
+		m = 2400
+	}
+	wu := m / 4
+	return m, wu
+}

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"abcast/internal/core"
+	"abcast/internal/netmodel"
+	"abcast/internal/rbcast"
+)
+
+// StackSpec labels one curve of a figure.
+type StackSpec struct {
+	Label   string
+	Variant core.Variant
+	RB      rbcast.Kind
+}
+
+// FigureSpec declares how to regenerate one of the paper's figures: an x
+// axis, a set of stacks (curves), and a builder mapping (stack, x) to an
+// experiment.
+type FigureSpec struct {
+	ID     string
+	Title  string
+	XLabel string
+	Xs     []float64
+	Stacks []StackSpec
+	Build  func(s StackSpec, x float64, scale float64, seed int64) Experiment
+}
+
+// Point is one measurement of one curve.
+type Point struct {
+	X      float64
+	Result Result
+}
+
+// Figure is a regenerated figure: one series of points per stack.
+type Figure struct {
+	Spec   FigureSpec
+	Series map[string][]Point // label -> points, in Xs order
+}
+
+// Run regenerates the figure. scale (0,1] shrinks the per-point message
+// counts for quick runs; 1.0 is the full configuration.
+func (f FigureSpec) Run(scale float64, seed int64) (Figure, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	out := Figure{Spec: f, Series: make(map[string][]Point, len(f.Stacks))}
+	for _, s := range f.Stacks {
+		for _, x := range f.Xs {
+			e := f.Build(s, x, scale, seed)
+			r, err := Run(e)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure %s, stack %q, x=%v: %w", f.ID, s.Label, x, err)
+			}
+			out.Series[s.Label] = append(out.Series[s.Label], Point{X: x, Result: r})
+		}
+	}
+	return out, nil
+}
+
+// Print renders the figure as an aligned table of mean latencies (ms), one
+// row per x value and one column per stack — the same rows the paper plots.
+func (f Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.Spec.ID, f.Spec.Title)
+	labels := make([]string, 0, len(f.Spec.Stacks))
+	for _, s := range f.Spec.Stacks {
+		labels = append(labels, s.Label)
+	}
+	fmt.Fprintf(w, "%-24s", f.Spec.XLabel)
+	for _, l := range labels {
+		fmt.Fprintf(w, "  %22s", l)
+	}
+	fmt.Fprintln(w)
+	for i, x := range f.Spec.Xs {
+		fmt.Fprintf(w, "%-24.0f", x)
+		for _, l := range labels {
+			pts := f.Series[l]
+			if i < len(pts) {
+				r := pts[i].Result
+				cell := fmt.Sprintf("%.3f ms", r.Latency.Mean)
+				if r.Undelivered > 0 {
+					cell += "*" // saturated: some messages missed the horizon
+				}
+				fmt.Fprintf(w, "  %22s", cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// seq builds an inclusive numeric range.
+func seq(from, to, step float64) []float64 {
+	var out []float64
+	for x := from; x <= to+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Stack labels shared across figures (matching the paper's legends).
+var (
+	stackIndirect   = StackSpec{Label: "Indirect consensus", Variant: core.VariantIndirectCT, RB: rbcast.KindEager}
+	stackIndirectN1 = StackSpec{Label: "Indirect w/ O(n) rb", Variant: core.VariantIndirectCT, RB: rbcast.KindLazy}
+	stackOnMsgs     = StackSpec{Label: "Consensus", Variant: core.VariantConsensusMsgs, RB: rbcast.KindEager}
+	stackFaulty     = StackSpec{Label: "(Faulty) consensus", Variant: core.VariantFaultyIDs, RB: rbcast.KindEager}
+	stackURB        = StackSpec{Label: "Consensus w/ URB", Variant: core.VariantURBIDs, RB: rbcast.KindUniform}
+)
+
+// buildPayloadSweep returns a builder for latency-vs-payload figures.
+func buildPayloadSweep(n int, params netmodel.Params, throughput float64) func(StackSpec, float64, float64, int64) Experiment {
+	return func(s StackSpec, x, scale float64, seed int64) Experiment {
+		measured, warmup := defaultMessages(throughput, scale)
+		return Experiment{
+			Name:       fmt.Sprintf("%s tp=%.0f payload=%.0f", s.Label, throughput, x),
+			N:          n,
+			Params:     params,
+			Variant:    s.Variant,
+			RB:         s.RB,
+			Throughput: throughput,
+			Payload:    int(x),
+			Messages:   measured,
+			Warmup:     warmup,
+			Seed:       seed,
+			MaxVirtual: 30 * time.Second,
+		}
+	}
+}
+
+// buildThroughputSweep returns a builder for latency-vs-throughput figures.
+func buildThroughputSweep(n int, params netmodel.Params, payload int) func(StackSpec, float64, float64, int64) Experiment {
+	return func(s StackSpec, x, scale float64, seed int64) Experiment {
+		measured, warmup := defaultMessages(x, scale)
+		return Experiment{
+			Name:       fmt.Sprintf("%s tp=%.0f payload=%d", s.Label, x, payload),
+			N:          n,
+			Params:     params,
+			Variant:    s.Variant,
+			RB:         s.RB,
+			Throughput: x,
+			Payload:    payload,
+			Messages:   measured,
+			Warmup:     warmup,
+			Seed:       seed,
+			MaxVirtual: 30 * time.Second,
+		}
+	}
+}
+
+// Figures returns every figure specification, keyed by id.
+func Figures() map[string]FigureSpec {
+	s1 := netmodel.Setup1()
+	s2 := netmodel.Setup2()
+	figs := []FigureSpec{
+		{
+			ID:     "1a",
+			Title:  "latency vs payload, n=3, 100 msg/s, Setup 1 (indirect consensus vs consensus on messages)",
+			XLabel: "payload [bytes]",
+			Xs:     seq(0, 5000, 1000),
+			Stacks: []StackSpec{stackIndirect, stackOnMsgs},
+			Build:  buildPayloadSweep(3, s1, 100),
+		},
+		{
+			ID:     "1b",
+			Title:  "latency vs payload, n=3, 800 msg/s, Setup 1 (indirect consensus vs consensus on messages)",
+			XLabel: "payload [bytes]",
+			Xs:     seq(0, 4000, 1000),
+			Stacks: []StackSpec{stackIndirect, stackOnMsgs},
+			Build:  buildPayloadSweep(3, s1, 800),
+		},
+		{
+			ID:     "3a",
+			Title:  "latency vs throughput, n=3, payload 1 B, Setup 1 (indirect vs faulty consensus on ids)",
+			XLabel: "throughput [msg/s]",
+			Xs:     []float64{100, 200, 400, 600, 800},
+			Stacks: []StackSpec{stackIndirect, stackFaulty},
+			Build:  buildThroughputSweep(3, s1, 1),
+		},
+		{
+			ID:     "3b",
+			Title:  "latency vs throughput, n=5, payload 1 B, Setup 1 (indirect vs faulty consensus on ids)",
+			XLabel: "throughput [msg/s]",
+			Xs:     []float64{100, 200, 400, 600, 800},
+			Stacks: []StackSpec{stackIndirect, stackFaulty},
+			Build:  buildThroughputSweep(5, s1, 1),
+		},
+		{
+			ID:     "7a",
+			Title:  "latency vs throughput, n=3, 1 B, Setup 2, O(n²) rbcast (indirect+rb vs consensus+URB)",
+			XLabel: "throughput [msg/s]",
+			Xs:     []float64{500, 750, 1000, 1250, 1500, 1750, 2000},
+			Stacks: []StackSpec{stackIndirect, stackURB},
+			Build:  buildThroughputSweep(3, s2, 1),
+		},
+		{
+			ID:     "7b",
+			Title:  "latency vs throughput, n=3, 1 B, Setup 2, O(n) rbcast (indirect+rb vs consensus+URB)",
+			XLabel: "throughput [msg/s]",
+			Xs:     []float64{500, 750, 1000, 1250, 1500, 1750, 2000},
+			Stacks: []StackSpec{stackIndirectN1, stackURB},
+			Build:  buildThroughputSweep(3, s2, 1),
+		},
+	}
+	// Figure 4: n=5, indirect vs faulty, payload sweep at four throughputs.
+	for _, sub := range []struct {
+		id  string
+		tp  float64
+		max float64 // the paper sweeps only 0-2000 B at 800 msg/s
+	}{{"4a", 10, 5000}, {"4b", 100, 5000}, {"4c", 400, 5000}, {"4d", 800, 2000}} {
+		figs = append(figs, FigureSpec{
+			ID:     sub.id,
+			Title:  fmt.Sprintf("latency vs payload, n=5, %.0f msg/s, Setup 1 (indirect vs faulty consensus on ids)", sub.tp),
+			XLabel: "payload [bytes]",
+			Xs:     seq(0, sub.max, sub.max/5),
+			Stacks: []StackSpec{stackIndirect, stackFaulty},
+			Build:  buildPayloadSweep(5, s1, sub.tp),
+		})
+	}
+	// Figures 5 and 6: n=3, Setup 2, indirect+rb vs consensus+URB, payload
+	// sweeps at three throughputs; Figure 5 uses O(n²) rbcast, Figure 6
+	// the O(n) one.
+	for _, group := range []struct {
+		fig   string
+		stack StackSpec
+	}{{"5", stackIndirect}, {"6", stackIndirectN1}} {
+		for i, tp := range []float64{500, 1500, 2000} {
+			id := fmt.Sprintf("%s%c", group.fig, 'a'+i)
+			figs = append(figs, FigureSpec{
+				ID: id,
+				Title: fmt.Sprintf("latency vs payload, n=3, %.0f msg/s, Setup 2, %s diffusion (vs consensus+URB)",
+					tp, group.stack.RB),
+				XLabel: "payload [bytes]",
+				Xs:     seq(0, 2500, 500),
+				Stacks: []StackSpec{group.stack, stackURB},
+				Build:  buildPayloadSweep(3, s2, tp),
+			})
+		}
+	}
+	// Extension (not a figure in the paper): scalability in the number of
+	// processes. Section 2.1 claims the advantage of identifiers "becomes
+	// clearer ... as the size of the system increases"; this sweep
+	// substantiates it.
+	figs = append(figs, FigureSpec{
+		ID:     "s1",
+		Title:  "EXTENSION: latency vs system size, 200 msg/s, 1000 B, Setup 1",
+		XLabel: "processes [n]",
+		Xs:     []float64{3, 5, 7, 9},
+		Stacks: []StackSpec{stackIndirect, stackOnMsgs},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(200, scale)
+			return Experiment{
+				Name:       fmt.Sprintf("%s n=%.0f", s.Label, x),
+				N:          int(x),
+				Params:     s1,
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Throughput: 200,
+				Payload:    1000,
+				Messages:   measured,
+				Warmup:     warmup,
+				Seed:       seed,
+				MaxVirtual: 30 * time.Second,
+			}
+		},
+	})
+	out := make(map[string]FigureSpec, len(figs))
+	for _, f := range figs {
+		out[f.ID] = f
+	}
+	return out
+}
+
+// FigureIDs returns all figure ids in display order.
+func FigureIDs() []string {
+	ids := make([]string, 0)
+	for id := range Figures() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAndPrint regenerates one figure and renders it.
+func RunAndPrint(w io.Writer, id string, scale float64, seed int64) error {
+	spec, ok := Figures()[id]
+	if !ok {
+		return fmt.Errorf("bench: unknown figure %q (have %s)", id, strings.Join(FigureIDs(), ", "))
+	}
+	fig, err := spec.Run(scale, seed)
+	if err != nil {
+		return err
+	}
+	fig.Print(w)
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package consensus implements ◇S failure-detector-based consensus:
+//
+//   - the Chandra–Toueg rotating-coordinator algorithm (CT), and
+//   - the Mostéfaoui–Raynal quorum-based algorithm (MR),
+//
+// each in two flavours: the original algorithm on opaque values, and the
+// paper's *indirect consensus* adaptation that decides on message-identifier
+// sets and consults an rcv predicate before adopting an estimate
+// (Algorithms 2 and 3 of the paper). Package indirect re-exports the
+// indirect flavours under their paper-facing names and documents the
+// resilience consequences.
+//
+// A Service multiplexes an unbounded sequence of independent consensus
+// instances (the serial numbers k of Algorithm 1) over a single protocol id.
+package consensus
+
+import (
+	"fmt"
+
+	"abcast/internal/fd"
+	"abcast/internal/stack"
+)
+
+// Value is a consensus proposal/decision. Key must be a canonical encoding:
+// two Values are the same value iff their Keys are equal (used by MR's
+// Phase 2, which compares estimates).
+type Value interface {
+	stack.Message
+	Key() string
+}
+
+// Rcv is the predicate of indirect consensus: rcv(v) is true only if the
+// calling process has received msgs(v), the messages whose identifiers are
+// in v. It is supplied by the atomic broadcast algorithm (Algorithm 1,
+// lines 9-10).
+type Rcv func(v Value) bool
+
+// DecideFn is the decision upcall: instance k decided v. It is invoked
+// exactly once per instance per process.
+type DecideFn func(k uint64, v Value)
+
+// Algo selects the consensus algorithm.
+type Algo int
+
+// Available algorithms.
+const (
+	CT Algo = iota + 1 // Chandra-Toueg ◇S (rotating coordinator, f < n/2)
+	MR                 // Mostéfaoui-Raynal ◇S (quorum based; f < n/2, or f < n/3 when indirect)
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case CT:
+		return "CT"
+	case MR:
+		return "MR"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// Majority returns ⌈(n+1)/2⌉.
+func Majority(n int) int { return (n + 2) / 2 }
+
+// TwoThirds returns ⌈(2n+1)/3⌉, the Phase 2 quorum of the indirect MR
+// algorithm (Algorithm 3, line 22).
+func TwoThirds(n int) int { return (2*n + 3) / 3 }
+
+// ThirdPlus returns ⌈(n+1)/3⌉, the adoption threshold of the indirect MR
+// algorithm (Algorithm 3, line 28).
+func ThirdPlus(n int) int { return (n + 3) / 3 }
+
+// MaxFaulty returns the resilience of the chosen configuration: the largest
+// number of crashes under which all properties (including No loss for the
+// indirect flavours) are guaranteed.
+func MaxFaulty(a Algo, indirect bool, n int) int {
+	if a == MR && indirect {
+		return (n - 1) / 3 // f < n/3 — the paper's headline resilience loss
+	}
+	return (n - 1) / 2 // f < n/2
+}
+
+// Config parameterizes a consensus Service.
+type Config struct {
+	// Algo selects CT or MR.
+	Algo Algo
+	// Indirect enables the paper's indirect-consensus modifications.
+	Indirect bool
+	// Rcv is the received-messages predicate; required when Indirect.
+	// The original algorithms ignore it — running them directly on
+	// message identifiers is exactly the faulty configuration of
+	// Section 2.2.
+	Rcv Rcv
+	// Detector is the ◇S failure detector.
+	Detector fd.Detector
+	// Decide is the decision upcall.
+	Decide DecideFn
+}
+
+// Service multiplexes consensus instances over stack.ProtoCons.
+type Service struct {
+	proto       stack.Proto
+	cfg         Config
+	insts       map[uint64]*instance
+	prunedBelow uint64
+}
+
+// NewService wires a consensus service into the node.
+func NewService(node *stack.Node, cfg Config) (*Service, error) {
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("consensus: nil failure detector")
+	}
+	if cfg.Indirect && cfg.Rcv == nil {
+		return nil, fmt.Errorf("consensus: indirect %v requires an rcv predicate", cfg.Algo)
+	}
+	if cfg.Algo != CT && cfg.Algo != MR {
+		return nil, fmt.Errorf("consensus: unknown algorithm %v", cfg.Algo)
+	}
+	s := &Service{
+		proto: node.Proto(stack.ProtoCons),
+		cfg:   cfg,
+		insts: make(map[uint64]*instance),
+	}
+	node.Register(stack.ProtoCons, stack.HandlerFunc(s.receive))
+	return s, nil
+}
+
+// Propose starts instance k with initial value v (propose(k, v, rcv) in the
+// paper). Proposing twice for the same instance is a no-op.
+func (s *Service) Propose(k uint64, v Value) {
+	if k < s.prunedBelow {
+		return
+	}
+	inst := s.instance(k)
+	if inst.proposed || inst.decided {
+		if inst.decided {
+			// The decision already arrived before this process got
+			// around to proposing; nothing to do — the upcall fired.
+			return
+		}
+		return
+	}
+	inst.propose(v)
+}
+
+// instance returns (creating if needed) the state of instance k.
+func (s *Service) instance(k uint64) *instance {
+	inst, ok := s.insts[k]
+	if !ok {
+		inst = newInstance(s, k)
+		s.insts[k] = inst
+	}
+	return inst
+}
+
+// PruneBelow releases all state of instances with serial number < k and
+// ignores their future traffic. Callers (the atomic broadcast engine) prune
+// only instances they have locally decided and consumed: by then this
+// process's decide relay has already been sent, so discarding the state
+// cannot strand a correct peer.
+func (s *Service) PruneBelow(k uint64) {
+	if k <= s.prunedBelow {
+		return
+	}
+	for i := range s.insts {
+		if i < k {
+			delete(s.insts, i)
+		}
+	}
+	s.prunedBelow = k
+}
+
+// InstanceCount reports the number of retained instances (for tests and
+// monitoring).
+func (s *Service) InstanceCount() int { return len(s.insts) }
+
+// receive routes an incoming consensus message to its instance.
+func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
+	if k < s.prunedBelow {
+		return // stale traffic for a settled, pruned instance
+	}
+	inst := s.instance(k)
+	// Decisions short-circuit everything, including the pre-propose
+	// buffer: a process can decide without having proposed.
+	if d, ok := m.(DecideMsg); ok {
+		inst.onDecide(d.Est)
+		return
+	}
+	if inst.decided {
+		return // stale traffic for a settled instance
+	}
+	if !inst.proposed {
+		// Buffer until this process proposes; asynchronous channels make
+		// this indistinguishable from delayed delivery.
+		inst.buffer = append(inst.buffer, bufferedMsg{from: from, m: m})
+		return
+	}
+	inst.dispatch(from, m)
+}
+
+// bufferedMsg is a message queued before the local propose.
+type bufferedMsg struct {
+	from stack.ProcessID
+	m    stack.Message
+}
+
+// coord returns the rotating coordinator of round r: (r mod n) + 1, as in
+// Algorithms 2 and 3.
+func coord(r, n int) stack.ProcessID {
+	return stack.ProcessID((r % n) + 1)
+}

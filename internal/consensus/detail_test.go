@@ -1,0 +1,141 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+// TestEstimateCDistinctFromEstimateP reproduces the scenario behind the
+// paper's "need for estimatec and estimatep" (Section 3.2.2): a coordinator
+// must be able to *propose* the highest-timestamp estimate without
+// *adopting* it when it lacks msgs(v). If the implementation conflated the
+// two, the value "hot" — held only by processes that crash — would persist
+// in live processes' estimates forever and no decision could be reached.
+//
+// Timeline (n=5, indirect CT, f=2 < n/2):
+//   - p2 (round-1 coordinator) proposes "hot"; only p2 and p3 hold
+//     msgs(hot), so p3 acks (adopting hot with ts=1) and the rest nack.
+//   - p2 and p3 crash. Later coordinators keep *selecting* hot (highest
+//     timestamp) while its holders' estimates are still arriving, but
+//     never adopt it; once p2's and p3's estimates vanish, a timestamp-0
+//     "cold" estimate is selected and decided.
+func TestEstimateCDistinctFromEstimateP(t *testing.T) {
+	const n = 5
+	rcv := func(p stack.ProcessID, v Value) bool {
+		if v.Key() == "hot" {
+			return p == 2 || p == 3
+		}
+		return true
+	}
+	h := newHarness(t, n, CT, true, rcv)
+	h.propose(2, time.Millisecond, 1, tv("hot"))
+	for _, p := range []stack.ProcessID{1, 3, 4, 5} {
+		h.propose(p, time.Millisecond, 1, tv("cold"+string('0'+byte(p))))
+	}
+	// Let round 1 complete (p3 adopts hot), then both holders crash.
+	h.w.After(1, 30*time.Millisecond, func() {
+		h.w.Crash(2, simnet.DropInFlight)
+		h.w.Crash(3, simnet.DropInFlight)
+	})
+	for _, p := range []stack.ProcessID{1, 4, 5} {
+		p := p
+		h.w.After(p, 60*time.Millisecond, func() {
+			h.fds[p].SetSuspected(2, true)
+			h.fds[p].SetSuspected(3, true)
+		})
+	}
+	h.w.RunFor(30 * time.Second)
+	v := h.checkAgreement(t, 1, []stack.ProcessID{1, 4, 5}, nil)
+	if v.Key() == "hot" {
+		t.Fatalf("decided %q, whose messages no correct process holds (No loss violated)", v.Key())
+	}
+}
+
+// TestDecideWithoutProposing: a process that never proposes must still
+// decide when the decision reaches it (decisions bypass the pre-propose
+// buffer).
+func TestDecideWithoutProposing(t *testing.T) {
+	for _, fl := range algoFlavours() {
+		t.Run(fl.name, func(t *testing.T) {
+			const n = 3
+			h := newHarness(t, n, fl.algo, fl.indirect, rcvAlways)
+			// Only p1 and p2 propose; MR additionally needs p3's echoes?
+			// No: MR echoes require participation… p3 buffers non-decide
+			// traffic, so the quorum must come from p1 and p2 alone —
+			// which suffices for plain/indirect CT (majority 2) but not
+			// for indirect MR (quorum 3). Skip the flavours whose quorum
+			// exceeds the proposers.
+			quorum := Majority(n)
+			if fl.algo == MR && fl.indirect {
+				quorum = TwoThirds(n)
+			}
+			if quorum > 2 {
+				t.Skip("quorum exceeds proposing processes; not decidable by design")
+			}
+			h.propose(1, time.Millisecond, 1, tv("a"))
+			h.propose(2, time.Millisecond, 1, tv("b"))
+			h.w.RunFor(10 * time.Second)
+			h.checkAgreement(t, 1, allProcs(n), []Value{tv("a"), tv("b")})
+		})
+	}
+}
+
+// TestLateProposerCatchesUp: a process that proposes long after the others
+// replays its buffered traffic and still decides the already-settled value.
+func TestLateProposerCatchesUp(t *testing.T) {
+	for _, fl := range algoFlavours() {
+		t.Run(fl.name, func(t *testing.T) {
+			const n = 4
+			h := newHarness(t, n, fl.algo, fl.indirect, rcvAlways)
+			for _, p := range []stack.ProcessID{1, 2, 3} {
+				h.propose(p, time.Millisecond, 1, tv("early"))
+			}
+			h.propose(4, 500*time.Millisecond, 1, tv("late"))
+			h.w.RunFor(10 * time.Second)
+			v := h.checkAgreement(t, 1, allProcs(n), nil)
+			if v.Key() == "late" {
+				t.Fatalf("late proposal overturned a settled instance")
+			}
+		})
+	}
+}
+
+// TestTimestampPriority: CT coordinators must select the estimate with the
+// highest timestamp. A value locked in round 1 (adopted by a majority) must
+// win over fresh timestamp-0 estimates in later rounds, preserving
+// v-valence.
+func TestTimestampPriority(t *testing.T) {
+	const n = 3
+	h := newHarness(t, n, CT, false, nil)
+	// All propose distinct values; round 1 coordinator is p2, so "v2" is
+	// proposed first and, failure-free, must win.
+	for i := 1; i <= n; i++ {
+		h.propose(stack.ProcessID(i), time.Millisecond, 1, tv("v"+string('0'+byte(i))))
+	}
+	h.w.RunFor(5 * time.Second)
+	v := h.checkAgreement(t, 1, allProcs(n), nil)
+	if v.Key() != "v2" {
+		t.Fatalf("decided %q; round-1 coordinator's own estimate should win failure-free", v.Key())
+	}
+}
+
+// TestManyConcurrentInstances floods the service with interleaved
+// instances to exercise the per-instance isolation of round state.
+func TestManyConcurrentInstances(t *testing.T) {
+	const n, instances = 3, 50
+	h := newHarness(t, n, CT, false, nil)
+	for k := uint64(1); k <= instances; k++ {
+		for i := 1; i <= n; i++ {
+			// All instances start almost simultaneously.
+			h.propose(stack.ProcessID(i), time.Duration(k%7)*time.Millisecond, k,
+				tv("k"+string('a'+byte(k%26))+"-v"+string('0'+byte(i))))
+		}
+	}
+	h.w.RunFor(60 * time.Second)
+	for k := uint64(1); k <= instances; k++ {
+		h.checkAgreement(t, k, allProcs(n), nil)
+	}
+}

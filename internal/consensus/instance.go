@@ -1,0 +1,115 @@
+package consensus
+
+import "abcast/internal/stack"
+
+// instance is the per-serial-number consensus state shared by both
+// algorithms: propose/decide lifecycle, pre-propose buffering, decide
+// dissemination, and failure-detector subscription. The round logic itself
+// lives in the algoImpl (ctInst or mrInst).
+type instance struct {
+	svc        *Service
+	k          uint64
+	proposed   bool
+	decided    bool
+	decision   Value
+	decideSent bool
+	buffer     []bufferedMsg
+	fdCancel   func()
+	impl       algoImpl
+}
+
+// algoImpl is the algorithm-specific round machinery.
+type algoImpl interface {
+	// propose starts round 1 with the initial value.
+	propose(v Value)
+	// dispatch handles an algorithm message (never DecideMsg).
+	dispatch(from stack.ProcessID, m stack.Message)
+	// onSuspect reacts to the failure detector newly suspecting q.
+	onSuspect(q stack.ProcessID)
+}
+
+// newInstance creates instance k in the not-yet-proposed state.
+func newInstance(svc *Service, k uint64) *instance {
+	in := &instance{svc: svc, k: k}
+	switch svc.cfg.Algo {
+	case CT:
+		in.impl = newCTInst(in)
+	case MR:
+		in.impl = newMRInst(in)
+	}
+	return in
+}
+
+// ctx is a convenience accessor.
+func (in *instance) ctx() stack.Context { return in.svc.proto.Ctx() }
+
+// propose starts the instance locally and replays any buffered traffic.
+func (in *instance) propose(v Value) {
+	in.proposed = true
+	in.fdCancel = in.svc.cfg.Detector.Subscribe(func(q stack.ProcessID, suspected bool) {
+		if suspected && !in.decided && in.impl != nil {
+			in.impl.onSuspect(q)
+		}
+	})
+	in.impl.propose(v)
+	// Replay messages that arrived before the local propose; the buffer
+	// may grow during replay if handlers trigger further local sends, so
+	// iterate by index.
+	for i := 0; i < len(in.buffer); i++ {
+		if in.decided {
+			break
+		}
+		b := in.buffer[i]
+		in.impl.dispatch(b.from, b.m)
+	}
+	in.buffer = nil
+}
+
+// dispatch forwards algorithm traffic to the implementation.
+func (in *instance) dispatch(from stack.ProcessID, m stack.Message) {
+	if in.decided || in.impl == nil {
+		return
+	}
+	in.impl.dispatch(from, m)
+}
+
+// broadcastDecide disseminates a decision (R-broadcast of the decide
+// message). The local decision fires when the self-copy is delivered, which
+// keeps the decide path uniform across initiator and receivers.
+func (in *instance) broadcastDecide(v Value) {
+	if in.decided || in.decideSent {
+		return
+	}
+	in.decideSent = true
+	in.svc.proto.Broadcast(in.k, DecideMsg{Est: v})
+}
+
+// onDecide handles a received decide message: relay once (reliable
+// broadcast semantics), settle the instance, release its state, and fire
+// the upcall.
+func (in *instance) onDecide(v Value) {
+	if in.decided {
+		return
+	}
+	if !in.decideSent {
+		in.decideSent = true
+		in.svc.proto.BroadcastOthers(in.k, DecideMsg{Est: v})
+	}
+	in.decided = true
+	in.decision = v
+	if in.fdCancel != nil {
+		in.fdCancel()
+		in.fdCancel = nil
+	}
+	in.impl = nil // release round state for GC
+	in.buffer = nil
+	if in.svc.cfg.Decide != nil {
+		in.svc.cfg.Decide(in.k, v)
+	}
+}
+
+// rcvHolds evaluates the rcv predicate for indirect configurations; the
+// original algorithms never call it.
+func (in *instance) rcvHolds(v Value) bool {
+	return in.svc.cfg.Rcv(v)
+}

@@ -1,0 +1,72 @@
+package consensus
+
+import "abcast/internal/stack"
+
+// valueSize returns the wire footprint of a possibly-nil value.
+func valueSize(v Value) int {
+	if v == nil {
+		return 0
+	}
+	return v.WireSize()
+}
+
+// CTEstimateMsg is Phase 1 of the CT algorithm: (p, r, estimate, ts) sent to
+// the round's coordinator.
+type CTEstimateMsg struct {
+	R   int
+	TS  int
+	Est Value
+}
+
+// WireSize implements stack.Message.
+func (m CTEstimateMsg) WireSize() int { return 9 + valueSize(m.Est) }
+
+// CTProposalMsg is Phase 2 of the CT algorithm: the coordinator's proposal
+// (p, r, estimatec) sent to all.
+type CTProposalMsg struct {
+	R   int
+	Est Value
+}
+
+// WireSize implements stack.Message.
+func (m CTProposalMsg) WireSize() int { return 5 + valueSize(m.Est) }
+
+// CTAckMsg is Phase 3's reply: (p, r, ack) or (p, r, nack).
+type CTAckMsg struct {
+	R    int
+	Nack bool
+}
+
+// WireSize implements stack.Message.
+func (m CTAckMsg) WireSize() int { return 6 }
+
+// MREchoMsg is the MR algorithm's per-round broadcast: the coordinator's
+// initial send and every process's Phase 1 relay of est_from_c share this
+// type (as in Algorithm 3, where both are "(p, rp, est_from_cp)"). Bottom
+// encodes ⊥.
+type MREchoMsg struct {
+	R      int
+	Bottom bool
+	Est    Value
+}
+
+// WireSize implements stack.Message.
+func (m MREchoMsg) WireSize() int { return 6 + valueSize(m.Est) }
+
+// DecideMsg carries a decision; it is relayed once by every receiver, which
+// gives it reliable-broadcast semantics (line 37 of Algorithm 2, line 26 of
+// Algorithm 3).
+type DecideMsg struct {
+	Est Value
+}
+
+// WireSize implements stack.Message.
+func (m DecideMsg) WireSize() int { return 2 + valueSize(m.Est) }
+
+var (
+	_ stack.Message = CTEstimateMsg{}
+	_ stack.Message = CTProposalMsg{}
+	_ stack.Message = CTAckMsg{}
+	_ stack.Message = MREchoMsg{}
+	_ stack.Message = DecideMsg{}
+)

@@ -1,0 +1,64 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+func TestPruneBelowReleasesInstances(t *testing.T) {
+	const n, instances = 3, 10
+	h := newHarness(t, n, CT, false, nil)
+	for k := uint64(1); k <= instances; k++ {
+		for i := 1; i <= n; i++ {
+			h.propose(stack.ProcessID(i), time.Duration(k)*5*time.Millisecond, k,
+				tv(fmt.Sprintf("k%d-v%d", k, i)))
+		}
+	}
+	h.w.RunFor(10 * time.Second)
+	for k := uint64(1); k <= instances; k++ {
+		h.checkAgreement(t, k, allProcs(n), nil)
+	}
+	svc := h.svcs[1]
+	if svc.InstanceCount() != instances {
+		t.Fatalf("InstanceCount = %d before prune", svc.InstanceCount())
+	}
+	h.w.After(1, time.Millisecond, func() { svc.PruneBelow(instances + 1) })
+	h.w.RunFor(time.Second)
+	if svc.InstanceCount() != 0 {
+		t.Fatalf("InstanceCount = %d after prune, want 0", svc.InstanceCount())
+	}
+	// Idempotent and monotone.
+	h.w.After(1, time.Millisecond, func() {
+		svc.PruneBelow(3) // lower than current watermark: no-op
+		svc.PruneBelow(instances + 1)
+	})
+	h.w.RunFor(time.Second)
+}
+
+func TestPrunedInstanceIgnoresTraffic(t *testing.T) {
+	const n = 3
+	h := newHarness(t, n, CT, false, nil)
+	for i := 1; i <= n; i++ {
+		h.propose(stack.ProcessID(i), time.Millisecond, 1, tv(fmt.Sprintf("v%d", i)))
+	}
+	h.w.RunFor(2 * time.Second)
+	h.checkAgreement(t, 1, allProcs(n), nil)
+
+	svc := h.svcs[1]
+	h.w.After(1, time.Millisecond, func() {
+		svc.PruneBelow(2)
+		// Late traffic and proposals for the pruned instance must be
+		// ignored, not resurrect state.
+		svc.Propose(1, tv("zombie"))
+	})
+	h.w.RunFor(time.Second)
+	if svc.InstanceCount() != 0 {
+		t.Fatalf("pruned instance resurrected: count=%d", svc.InstanceCount())
+	}
+	if h.decideCount[1][1] != 1 {
+		t.Fatalf("decide count changed after prune: %d", h.decideCount[1][1])
+	}
+}

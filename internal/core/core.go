@@ -1,0 +1,364 @@
+// Package core implements uniform atomic broadcast by reduction to
+// consensus — Algorithm 1 of the paper — with pluggable ordering stacks:
+//
+//   - VariantConsensusMsgs: consensus directly on sets of *messages* (the
+//     original reduction of Chandra & Toueg). Correct but slow for large
+//     payloads, since every consensus message carries the payloads.
+//   - VariantFaultyIDs: an *unmodified* consensus algorithm run directly on
+//     message identifiers over plain reliable broadcast. This is the common
+//     shortcut of earlier group-communication stacks; Section 2.2 shows it
+//     violates the Validity property of atomic broadcast if one process
+//     crashes. It is implemented here deliberately, both as the paper's
+//     performance baseline (Figures 3 and 4) and to demonstrate the
+//     violation (see the crash tests and examples/crashdemo).
+//   - VariantIndirectCT / VariantIndirectMR: the paper's contribution —
+//     indirect consensus on identifiers (Algorithms 2 and 3) over plain
+//     reliable broadcast. Correct, and nearly as fast as the faulty stack.
+//   - VariantURBIDs: unmodified consensus on identifiers over *uniform*
+//     reliable broadcast — the alternative correct stack of Section 4.4,
+//     which pays an extra communication step on every broadcast.
+//
+// Properties guaranteed by the correct variants: Validity, Uniform
+// integrity, Uniform agreement, Uniform total order.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"abcast/internal/consensus"
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/stack"
+)
+
+// Variant selects an atomic broadcast stack.
+type Variant int
+
+// Available stacks.
+const (
+	VariantConsensusMsgs Variant = iota + 1
+	VariantFaultyIDs
+	VariantIndirectCT
+	VariantIndirectMR
+	VariantURBIDs
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantConsensusMsgs:
+		return "consensus-on-messages"
+	case VariantFaultyIDs:
+		return "faulty-consensus-on-ids"
+	case VariantIndirectCT:
+		return "indirect-consensus-CT"
+	case VariantIndirectMR:
+		return "indirect-consensus-MR"
+	case VariantURBIDs:
+		return "consensus-on-ids+urb"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Correct reports whether the variant satisfies all atomic broadcast
+// properties under crashes (VariantFaultyIDs does not).
+func (v Variant) Correct() bool { return v != VariantFaultyIDs }
+
+// Deliver is the adeliver upcall, invoked in delivery order.
+type Deliver func(app *msg.App)
+
+// Config parameterizes an atomic broadcast engine.
+type Config struct {
+	// Variant selects the ordering stack.
+	Variant Variant
+	// RB selects the diffusion broadcast for the id-based variants
+	// (KindEager = O(n²) or KindLazy = O(n)). VariantURBIDs always uses
+	// uniform reliable broadcast; if RB is zero it defaults to KindEager.
+	RB rbcast.Kind
+	// Detector is the ◇S failure detector shared by the stack's layers.
+	Detector fd.Detector
+	// RcvCheckCost is the CPU time charged per identifier by the rcv
+	// predicate (models the id-set bookkeeping the paper measures as the
+	// overhead of indirect consensus). Zero is valid.
+	RcvCheckCost time.Duration
+	// MaxBatch caps the number of identifiers proposed per consensus
+	// instance (0 = unlimited, the paper's Algorithm 1, which proposes
+	// the whole unordered set). A cap trades ordering latency under
+	// burst for bounded per-instance work — an extension knob, ablated
+	// in bench_test.go.
+	MaxBatch int
+	// Deliver receives adelivered messages, in total order.
+	Deliver Deliver
+	// OnDecision, if set, is invoked at the instant this process learns
+	// each consensus decision, before the decision is applied. Tests use
+	// it to check the paper's No loss invariant (a decided identifier set
+	// must be held, in full, by at least one correct process at decision
+	// time).
+	OnDecision func(k uint64, v consensus.Value)
+}
+
+// Engine is the per-process atomic broadcast engine (Algorithm 1).
+type Engine struct {
+	ctx  stack.Context
+	cfg  Config
+	rb   rbcast.Broadcaster
+	cons *consensus.Service
+
+	seq uint64 // per-sender sequence numbers for id(m)
+
+	received  map[msg.ID]*msg.App // receivedp: messages received
+	delivered map[msg.ID]bool     // messages already adelivered
+	inOrdered map[msg.ID]bool     // ids currently queued in orderedp
+	unordered msg.IDSet           // unorderedp: received but not yet ordered
+	ordered   []msg.ID            // orderedp: ordered, not yet adelivered
+
+	kNext    uint64                     // next consensus instance to consume
+	proposed bool                       // a proposal for kNext is outstanding
+	pending  map[uint64]consensus.Value // decisions not yet consumed
+}
+
+// New wires an atomic broadcast engine and all its substrate layers into
+// the node.
+func New(node *stack.Node, cfg Config) (*Engine, error) {
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("core: nil Deliver upcall")
+	}
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("core: nil failure detector")
+	}
+	if cfg.RB == 0 {
+		cfg.RB = rbcast.KindEager
+	}
+	e := &Engine{
+		ctx:       node.Context(),
+		cfg:       cfg,
+		received:  make(map[msg.ID]*msg.App),
+		delivered: make(map[msg.ID]bool),
+		inOrdered: make(map[msg.ID]bool),
+		kNext:     1,
+		pending:   make(map[uint64]consensus.Value),
+	}
+
+	// Diffusion layer.
+	switch cfg.Variant {
+	case VariantURBIDs:
+		e.rb = rbcast.NewUniform(node, e.onRDeliver)
+	case VariantConsensusMsgs, VariantFaultyIDs, VariantIndirectCT, VariantIndirectMR:
+		e.rb = rbcast.New(cfg.RB, node, cfg.Detector, e.onRDeliver)
+	default:
+		return nil, fmt.Errorf("core: unknown variant %v", cfg.Variant)
+	}
+
+	// Ordering layer.
+	ccfg := consensus.Config{
+		Detector: cfg.Detector,
+		Decide:   e.onDecide,
+	}
+	switch cfg.Variant {
+	case VariantConsensusMsgs, VariantFaultyIDs, VariantURBIDs:
+		ccfg.Algo = consensus.CT
+	case VariantIndirectCT:
+		ccfg.Algo = consensus.CT
+		ccfg.Indirect = true
+		ccfg.Rcv = e.rcv
+	case VariantIndirectMR:
+		ccfg.Algo = consensus.MR
+		ccfg.Indirect = true
+		ccfg.Rcv = e.rcv
+	}
+	cons, err := consensus.NewService(node, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e.cons = cons
+	return e, nil
+}
+
+// ABroadcast atomically broadcasts a payload (Algorithm 1 lines 7-8): the
+// message is R-broadcast once; ordering happens on its identifier.
+// It returns the new message's identifier.
+func (e *Engine) ABroadcast(payload []byte) msg.ID {
+	e.seq++
+	app := &msg.App{
+		ID:      msg.ID{Sender: e.ctx.ID(), Seq: e.seq},
+		Payload: payload,
+	}
+	e.rb.Broadcast(app)
+	return app.ID
+}
+
+// rcv is the predicate of Algorithm 1 lines 9-10: true iff every identifier
+// in the proposal has a received message. The per-identifier CPU charge
+// models the real cost of these checks — the overhead the paper measures in
+// Figures 3 and 4.
+func (e *Engine) rcv(v consensus.Value) bool {
+	ids := idsOfValue(v)
+	if e.cfg.RcvCheckCost > 0 {
+		e.ctx.Work(time.Duration(len(ids)) * e.cfg.RcvCheckCost)
+	}
+	for _, id := range ids {
+		if e.received[id] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// onRDeliver handles R-delivery of a message (Algorithm 1 lines 11-14).
+func (e *Engine) onRDeliver(app *msg.App) {
+	if e.received[app.ID] != nil {
+		return
+	}
+	e.received[app.ID] = app
+	if !e.delivered[app.ID] && !e.inOrdered[app.ID] {
+		e.unordered.Add(app.ID)
+	}
+	e.tryDeliver() // the head of orderedp may have been waiting for this payload
+	e.maybePropose()
+}
+
+// maybePropose starts consensus kNext when there are unordered identifiers
+// and no outstanding proposal (Algorithm 1 lines 15-17).
+func (e *Engine) maybePropose() {
+	if e.proposed || e.unordered.Empty() {
+		return
+	}
+	e.proposed = true
+	batch := e.unordered.IDs()
+	if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
+		batch = batch[:e.cfg.MaxBatch]
+	}
+	switch e.cfg.Variant {
+	case VariantConsensusMsgs:
+		msgs := make([]*msg.App, 0, len(batch))
+		for _, id := range batch {
+			msgs = append(msgs, e.received[id])
+		}
+		e.cons.Propose(e.kNext, NewMsgSetValue(msgs))
+	default:
+		e.cons.Propose(e.kNext, IDSetValue{Set: msg.NewIDSet(batch...)})
+	}
+}
+
+// onDecide records the decision of instance k and consumes decisions in
+// serial order (Algorithm 1 lines 18-21).
+func (e *Engine) onDecide(k uint64, v consensus.Value) {
+	if _, dup := e.pending[k]; dup || k < e.kNext {
+		return
+	}
+	if e.cfg.OnDecision != nil {
+		e.cfg.OnDecision(k, v)
+	}
+	e.pending[k] = v
+	for {
+		next, ok := e.pending[e.kNext]
+		if !ok {
+			break
+		}
+		delete(e.pending, e.kNext)
+		e.kNext++
+		e.proposed = false
+		e.applyDecision(next)
+	}
+	// Consumed instances are settled locally and our decide relay is out:
+	// their consensus state can be released.
+	e.cons.PruneBelow(e.kNext)
+	e.maybePropose()
+}
+
+// applyDecision appends the decided identifiers, in deterministic order, to
+// the ordered sequence and delivers what it can.
+func (e *Engine) applyDecision(v consensus.Value) {
+	if mv, ok := v.(MsgSetValue); ok {
+		// Consensus on messages: the decision itself carries the
+		// payloads, so every decider can deliver them even if the
+		// diffusion broadcast has not reached it yet.
+		for _, a := range mv.Msgs {
+			if e.received[a.ID] == nil {
+				e.received[a.ID] = a
+			}
+		}
+	}
+	ids := idsOfValue(v)
+	for _, id := range ids {
+		e.unordered.Remove(id)
+		if !e.delivered[id] && !e.inOrdered[id] {
+			e.ordered = append(e.ordered, id)
+			e.inOrdered[id] = true
+		}
+	}
+	e.tryDeliver()
+}
+
+// tryDeliver adelivers ordered messages whose payload has been received
+// (Algorithm 1 lines 23-25). With a correct variant the head never blocks
+// forever: No loss (or uniform diffusion) guarantees the payload arrives.
+func (e *Engine) tryDeliver() {
+	for len(e.ordered) > 0 {
+		id := e.ordered[0]
+		app := e.received[id]
+		if app == nil {
+			return // head ordered but not yet received
+		}
+		e.ordered = e.ordered[1:]
+		delete(e.inOrdered, id)
+		e.delivered[id] = true
+		e.cfg.Deliver(app)
+	}
+}
+
+// Blocked reports whether the engine is stuck: an identifier is at the head
+// of the ordered sequence with no corresponding message. Transient in
+// correct stacks; permanent in the faulty stack's Section 2.2 scenario.
+func (e *Engine) Blocked() bool {
+	return len(e.ordered) > 0 && e.received[e.ordered[0]] == nil
+}
+
+// BlockedOn returns the identifier the engine is waiting on, if Blocked.
+func (e *Engine) BlockedOn() (msg.ID, bool) {
+	if e.Blocked() {
+		return e.ordered[0], true
+	}
+	return msg.ID{}, false
+}
+
+// HasReceived reports whether this process holds the message with the
+// given identifier (the receivedp set of Algorithm 1). Used by invariant
+// checkers.
+func (e *Engine) HasReceived(id msg.ID) bool { return e.received[id] != nil }
+
+// Stats reports engine counters for diagnostics and tests.
+type Stats struct {
+	Received  int
+	Delivered int
+	Unordered int
+	OrderedQ  int
+	Instances uint64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Received:  len(e.received),
+		Delivered: len(e.delivered),
+		Unordered: e.unordered.Len(),
+		OrderedQ:  len(e.ordered),
+		Instances: e.kNext - 1,
+	}
+}
+
+// idsOfValue extracts identifiers, in canonical order, from either value
+// type.
+func idsOfValue(v consensus.Value) []msg.ID {
+	switch vv := v.(type) {
+	case IDSetValue:
+		return vv.Set.IDs()
+	case MsgSetValue:
+		return vv.IDs()
+	default:
+		return nil
+	}
+}

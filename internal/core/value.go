@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"abcast/internal/consensus"
+	"abcast/internal/msg"
+)
+
+// IDSetValue is a consensus value holding only message identifiers — the
+// proposal type of indirect consensus and of the (faulty) direct use of
+// consensus on identifiers. Its wire size is independent of the size of the
+// underlying messages, which is the whole point of ordering identifiers.
+type IDSetValue struct {
+	Set msg.IDSet
+}
+
+var _ consensus.Value = IDSetValue{}
+
+// WireSize implements stack.Message.
+func (v IDSetValue) WireSize() int { return v.Set.WireSize() }
+
+// Key implements consensus.Value.
+func (v IDSetValue) Key() string { return v.Set.Key() }
+
+// MsgSetValue is a consensus value holding full messages — the proposal
+// type of the original reduction of atomic broadcast to consensus, where
+// consensus is executed directly on (sets of) messages. Its wire size grows
+// with the messages' payloads, which is what saturates the network in
+// Figure 1.
+type MsgSetValue struct {
+	Msgs []*msg.App // sorted by ID
+}
+
+var _ consensus.Value = MsgSetValue{}
+
+// NewMsgSetValue builds a value from messages, normalizing order.
+func NewMsgSetValue(msgs []*msg.App) MsgSetValue {
+	out := make([]*msg.App, len(msgs))
+	copy(out, msgs)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return MsgSetValue{Msgs: out}
+}
+
+// WireSize implements stack.Message.
+func (v MsgSetValue) WireSize() int {
+	total := 4
+	for _, a := range v.Msgs {
+		total += a.WireSize()
+	}
+	return total
+}
+
+// IDs returns the identifiers of the contained messages in canonical order.
+func (v MsgSetValue) IDs() []msg.ID {
+	out := make([]msg.ID, len(v.Msgs))
+	for i, a := range v.Msgs {
+		out[i] = a.ID
+	}
+	return out
+}
+
+// Key implements consensus.Value: the identifier encoding suffices because
+// messages and identifiers are in bijection.
+func (v MsgSetValue) Key() string {
+	s := msg.NewIDSet(v.IDs()...)
+	return s.Key()
+}

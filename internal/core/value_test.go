@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+
+	"abcast/internal/netmodel"
+)
+
+func mkApp(s, q int, size int) *msg.App {
+	return &msg.App{
+		ID:      msg.ID{Sender: stack.ProcessID(s), Seq: uint64(q)},
+		Payload: make([]byte, size),
+	}
+}
+
+func TestIDSetValueDecoupledFromPayload(t *testing.T) {
+	// The motivating property: identifier values do not grow with message
+	// size.
+	small := IDSetValue{Set: msg.NewIDSet(mkApp(1, 1, 1).ID)}
+	big := IDSetValue{Set: msg.NewIDSet(mkApp(1, 1, 1_000_000).ID)}
+	if small.WireSize() != big.WireSize() {
+		t.Fatalf("id value size depends on payload: %d vs %d", small.WireSize(), big.WireSize())
+	}
+}
+
+func TestMsgSetValueCarriesPayload(t *testing.T) {
+	v := NewMsgSetValue([]*msg.App{mkApp(1, 1, 5000)})
+	if v.WireSize() < 5000 {
+		t.Fatalf("message value too small: %d", v.WireSize())
+	}
+}
+
+func TestMsgSetValueSortsByID(t *testing.T) {
+	v := NewMsgSetValue([]*msg.App{mkApp(3, 1, 0), mkApp(1, 2, 0), mkApp(1, 1, 0)})
+	ids := v.IDs()
+	want := []msg.ID{{Sender: 1, Seq: 1}, {Sender: 1, Seq: 2}, {Sender: 3, Seq: 1}}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestValueKeysAgreeAcrossRepresentations(t *testing.T) {
+	apps := []*msg.App{mkApp(2, 2, 10), mkApp(1, 1, 10)}
+	mv := NewMsgSetValue(apps)
+	iv := IDSetValue{Set: msg.NewIDSet(apps[0].ID, apps[1].ID)}
+	if mv.Key() != iv.Key() {
+		t.Fatal("the id-set and message-set encodings of the same set disagree on Key")
+	}
+}
+
+func TestIdsOfValue(t *testing.T) {
+	apps := []*msg.App{mkApp(1, 1, 0), mkApp(2, 1, 0)}
+	if got := idsOfValue(NewMsgSetValue(apps)); len(got) != 2 {
+		t.Fatalf("idsOfValue(MsgSet) = %v", got)
+	}
+	iv := IDSetValue{Set: msg.NewIDSet(apps[0].ID)}
+	if got := idsOfValue(iv); len(got) != 1 || got[0] != apps[0].ID {
+		t.Fatalf("idsOfValue(IDSet) = %v", got)
+	}
+	if got := idsOfValue(nil); got != nil {
+		t.Fatalf("idsOfValue(nil) = %v", got)
+	}
+}
+
+func TestConfigValidationCore(t *testing.T) {
+	w := simnet.NewWorld(1, netmodel.Instant(), 1)
+	if _, err := New(w.Node(1), Config{}); err == nil {
+		t.Error("nil Deliver accepted")
+	}
+	if _, err := New(w.Node(1), Config{Deliver: func(*msg.App) {}}); err == nil {
+		t.Error("nil detector accepted")
+	}
+}
+
+// TestMaxBatchOneInstancePerMessage pins the batching knob: with MaxBatch=1
+// each consensus instance orders exactly one message.
+func TestMaxBatchOneInstancePerMessage(t *testing.T) {
+	n := 3
+	w := simnet.NewWorld(n, netmodel.Setup1(), 5)
+	engines := make([]*Engine, n+1)
+	deliveredTotal := 0
+	for i := 1; i <= n; i++ {
+		node := w.Node(stack.ProcessID(i))
+		det := fd.NewHeartbeat(node, fd.DefaultConfig())
+		eng, err := New(node, Config{
+			Variant:  VariantIndirectCT,
+			RB:       rbcast.KindEager,
+			Detector: det,
+			MaxBatch: 1,
+			Deliver: func(*msg.App) {
+				deliveredTotal++
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	const total = 12
+	for s := 0; s < total; s++ {
+		p := stack.ProcessID(s%n + 1)
+		at := time.Duration(s) * 300 * time.Microsecond
+		w.After(p, at, func() { engines[p].ABroadcast([]byte("x")) })
+	}
+	w.RunFor(30 * time.Second)
+	st := engines[1].Stats()
+	if st.Delivered != total {
+		t.Fatalf("delivered %d/%d", st.Delivered, total)
+	}
+	if st.Instances != total {
+		t.Fatalf("MaxBatch=1 ran %d instances for %d messages", st.Instances, total)
+	}
+}

@@ -1,0 +1,211 @@
+// Package fd provides failure detectors of class ◇S (eventually strong).
+//
+// The consensus algorithms of the paper are built on an unreliable failure
+// detector D_p queried as "c_p ∈ D_p". Two implementations are provided:
+//
+//   - Heartbeat: the usual heartbeat/adaptive-timeout detector. It satisfies
+//     strong completeness (a crashed process is eventually suspected by
+//     every correct process) and, in runs where message delays stabilize,
+//     eventual weak accuracy — which is the ◇S behaviour the algorithms
+//     need for termination.
+//   - Scripted: a detector whose suspicions are driven explicitly by tests,
+//     used to build the adversarial schedules of Sections 2.2 and 3.3.
+package fd
+
+import (
+	"time"
+
+	"abcast/internal/stack"
+)
+
+// Detector is the query interface used by consensus ("c ∈ D_p") plus a
+// subscription mechanism so that event-driven protocols learn about
+// suspicion changes without polling.
+type Detector interface {
+	// Suspects reports whether q is currently suspected.
+	Suspects(q stack.ProcessID) bool
+	// Subscribe registers fn to be called whenever the suspicion status
+	// of any process changes. The returned function unsubscribes.
+	Subscribe(fn func(q stack.ProcessID, suspected bool)) (cancel func())
+}
+
+// subscriptions is shared by the detector implementations.
+type subscriptions struct {
+	nextKey int
+	subs    map[int]func(stack.ProcessID, bool)
+}
+
+func (s *subscriptions) subscribe(fn func(stack.ProcessID, bool)) func() {
+	if s.subs == nil {
+		s.subs = make(map[int]func(stack.ProcessID, bool))
+	}
+	key := s.nextKey
+	s.nextKey++
+	s.subs[key] = fn
+	return func() { delete(s.subs, key) }
+}
+
+func (s *subscriptions) notify(q stack.ProcessID, suspected bool) {
+	for _, fn := range s.subs {
+		fn(q, suspected)
+	}
+}
+
+// HeartbeatMsg is the periodic liveness message.
+type HeartbeatMsg struct{}
+
+// WireSize implements stack.Message.
+func (HeartbeatMsg) WireSize() int { return 4 }
+
+// Config parameterizes the heartbeat detector.
+type Config struct {
+	// Interval between heartbeats.
+	Interval time.Duration
+	// InitialTimeout before first suspecting a silent process.
+	InitialTimeout time.Duration
+	// TimeoutIncrement is added to a process's timeout whenever it is
+	// suspected wrongly (a heartbeat arrives while suspected). This is
+	// the standard adaptation that yields eventual accuracy.
+	TimeoutIncrement time.Duration
+	// MaxTimeout caps adaptation.
+	MaxTimeout time.Duration
+}
+
+// DefaultConfig returns heartbeat parameters suitable for the simulated
+// LAN: suspicions within ~100ms of a crash, negligible background load.
+func DefaultConfig() Config {
+	return Config{
+		Interval:         25 * time.Millisecond,
+		InitialTimeout:   120 * time.Millisecond,
+		TimeoutIncrement: 60 * time.Millisecond,
+		MaxTimeout:       2 * time.Second,
+	}
+}
+
+// Heartbeat is a push-style heartbeat failure detector.
+type Heartbeat struct {
+	proto stack.Proto
+	cfg   Config
+
+	suspected map[stack.ProcessID]bool
+	timeout   map[stack.ProcessID]time.Duration
+	cancelTO  map[stack.ProcessID]func()
+	subs      subscriptions
+	stopped   bool
+	cancelHB  func()
+}
+
+var _ Detector = (*Heartbeat)(nil)
+
+// NewHeartbeat wires a heartbeat detector into the node under
+// stack.ProtoFD and starts emitting heartbeats.
+func NewHeartbeat(node *stack.Node, cfg Config) *Heartbeat {
+	h := &Heartbeat{
+		proto:     node.Proto(stack.ProtoFD),
+		cfg:       cfg,
+		suspected: make(map[stack.ProcessID]bool),
+		timeout:   make(map[stack.ProcessID]time.Duration),
+		cancelTO:  make(map[stack.ProcessID]func()),
+	}
+	node.Register(stack.ProtoFD, stack.HandlerFunc(h.receive))
+	ctx := h.proto.Ctx()
+	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
+		if q == ctx.ID() {
+			continue
+		}
+		h.timeout[q] = cfg.InitialTimeout
+		h.armTimeout(q)
+	}
+	h.tick()
+	return h
+}
+
+// Stop halts heartbeat emission and all timeout timers.
+func (h *Heartbeat) Stop() {
+	h.stopped = true
+	if h.cancelHB != nil {
+		h.cancelHB()
+	}
+	for _, cancel := range h.cancelTO {
+		cancel()
+	}
+}
+
+// tick emits a heartbeat to all other processes and re-arms itself.
+func (h *Heartbeat) tick() {
+	if h.stopped || h.proto.Ctx().Crashed() {
+		return
+	}
+	h.proto.BroadcastOthers(0, HeartbeatMsg{})
+	h.cancelHB = h.proto.Ctx().SetTimer(h.cfg.Interval, h.tick)
+}
+
+// receive handles an incoming heartbeat from q.
+func (h *Heartbeat) receive(q stack.ProcessID, _ uint64, m stack.Message) {
+	if _, ok := m.(HeartbeatMsg); !ok || h.stopped {
+		return
+	}
+	if h.suspected[q] {
+		// Wrong suspicion: restore trust and adapt the timeout.
+		h.suspected[q] = false
+		to := h.timeout[q] + h.cfg.TimeoutIncrement
+		if h.cfg.MaxTimeout > 0 && to > h.cfg.MaxTimeout {
+			to = h.cfg.MaxTimeout
+		}
+		h.timeout[q] = to
+		h.subs.notify(q, false)
+	}
+	h.armTimeout(q)
+}
+
+// armTimeout (re)starts the suspicion timer for q.
+func (h *Heartbeat) armTimeout(q stack.ProcessID) {
+	if cancel, ok := h.cancelTO[q]; ok && cancel != nil {
+		cancel()
+	}
+	h.cancelTO[q] = h.proto.Ctx().SetTimer(h.timeout[q], func() {
+		if h.stopped || h.suspected[q] {
+			return
+		}
+		h.suspected[q] = true
+		h.subs.notify(q, true)
+	})
+}
+
+// Suspects implements Detector.
+func (h *Heartbeat) Suspects(q stack.ProcessID) bool { return h.suspected[q] }
+
+// Subscribe implements Detector.
+func (h *Heartbeat) Subscribe(fn func(stack.ProcessID, bool)) func() {
+	return h.subs.subscribe(fn)
+}
+
+// Scripted is a failure detector fully controlled by the test harness.
+type Scripted struct {
+	suspected map[stack.ProcessID]bool
+	subs      subscriptions
+}
+
+var _ Detector = (*Scripted)(nil)
+
+// NewScripted returns a detector that initially suspects nobody.
+func NewScripted() *Scripted {
+	return &Scripted{suspected: make(map[stack.ProcessID]bool)}
+}
+
+// SetSuspected changes the suspicion status of q and notifies subscribers.
+func (s *Scripted) SetSuspected(q stack.ProcessID, suspected bool) {
+	if s.suspected[q] == suspected {
+		return
+	}
+	s.suspected[q] = suspected
+	s.subs.notify(q, suspected)
+}
+
+// Suspects implements Detector.
+func (s *Scripted) Suspects(q stack.ProcessID) bool { return s.suspected[q] }
+
+// Subscribe implements Detector.
+func (s *Scripted) Subscribe(fn func(stack.ProcessID, bool)) func() {
+	return s.subs.subscribe(fn)
+}

@@ -1,0 +1,182 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/netmodel"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+func newHBWorld(t *testing.T, n int, cfg Config) (*simnet.World, []*Heartbeat) {
+	t.Helper()
+	w := simnet.NewWorld(n, netmodel.Setup1(), 3)
+	hbs := make([]*Heartbeat, n+1)
+	for i := 1; i <= n; i++ {
+		hbs[i] = NewHeartbeat(w.Node(stack.ProcessID(i)), cfg)
+	}
+	return w, hbs
+}
+
+func TestNoSuspicionWithoutCrash(t *testing.T) {
+	w, hbs := newHBWorld(t, 3, DefaultConfig())
+	w.RunFor(2 * time.Second)
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			if i != j && hbs[i].Suspects(stack.ProcessID(j)) {
+				t.Fatalf("p%d wrongly suspects p%d on an idle healthy network", i, j)
+			}
+		}
+	}
+}
+
+func TestCrashEventuallySuspected(t *testing.T) {
+	w, hbs := newHBWorld(t, 3, DefaultConfig())
+	w.After(1, 500*time.Millisecond, func() { w.Crash(2, simnet.DropInFlight) })
+	w.RunFor(3 * time.Second)
+	for _, p := range []int{1, 3} {
+		if !hbs[p].Suspects(2) {
+			t.Fatalf("p%d never suspected the crashed process (strong completeness)", p)
+		}
+	}
+	if hbs[1].Suspects(3) || hbs[3].Suspects(1) {
+		t.Fatal("a correct process is suspected")
+	}
+}
+
+func TestSubscriberNotified(t *testing.T) {
+	w, hbs := newHBWorld(t, 3, DefaultConfig())
+	var events []bool
+	cancel := hbs[1].Subscribe(func(q stack.ProcessID, suspected bool) {
+		if q == 2 {
+			events = append(events, suspected)
+		}
+	})
+	w.After(1, 200*time.Millisecond, func() { w.Crash(2, simnet.DropInFlight) })
+	w.RunFor(2 * time.Second)
+	if len(events) == 0 || !events[0] {
+		t.Fatalf("subscriber events = %v, want leading suspicion", events)
+	}
+	cancel()
+	n := len(events)
+	w.RunFor(time.Second)
+	if len(events) != n {
+		t.Fatal("events after unsubscribe")
+	}
+}
+
+// TestAdaptiveTimeoutRecovers: a transient network stall causes a wrong
+// suspicion; once heartbeats resume, trust must be restored and the timeout
+// grown, eventually yielding accuracy (the ◇S behaviour).
+func TestAdaptiveTimeoutRecovers(t *testing.T) {
+	cfg := Config{
+		Interval:         10 * time.Millisecond,
+		InitialTimeout:   30 * time.Millisecond,
+		TimeoutIncrement: 100 * time.Millisecond,
+		MaxTimeout:       time.Second,
+	}
+	params := netmodel.Setup1()
+	// Stall all traffic from p2 between 100ms and 200ms of virtual time.
+	var w *simnet.World
+	params.LatencyFn = func(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+		now := w.Now().Sub(time.Unix(0, 0))
+		if from == 2 && now > 100*time.Millisecond && now < 200*time.Millisecond {
+			return 150 * time.Millisecond
+		}
+		return params.Latency
+	}
+	w = simnet.NewWorld(3, params, 3)
+	hbs := make([]*Heartbeat, 4)
+	for i := 1; i <= 3; i++ {
+		hbs[i] = NewHeartbeat(w.Node(stack.ProcessID(i)), cfg)
+	}
+	suspectedOnce := false
+	hbs[1].Subscribe(func(q stack.ProcessID, s bool) {
+		if q == 2 && s {
+			suspectedOnce = true
+		}
+	})
+	w.RunFor(3 * time.Second)
+	if !suspectedOnce {
+		t.Skip("stall did not trigger a suspicion in this schedule")
+	}
+	if hbs[1].Suspects(2) {
+		t.Fatal("suspicion not retracted after heartbeats resumed")
+	}
+}
+
+func TestHeartbeatStop(t *testing.T) {
+	w, hbs := newHBWorld(t, 2, DefaultConfig())
+	w.RunFor(100 * time.Millisecond)
+	hbs[1].Stop()
+	hbs[2].Stop()
+	sent := w.MsgsSent()
+	w.RunFor(time.Second)
+	if w.MsgsSent() != sent {
+		t.Fatal("heartbeats still flowing after Stop")
+	}
+	// Stopped detectors must not develop suspicions either.
+	if hbs[1].Suspects(2) || hbs[2].Suspects(1) {
+		t.Fatal("stopped detector changed suspicion state")
+	}
+}
+
+// TestTimeoutCapRespected: adaptation must never push a timeout past
+// MaxTimeout, or a flaky process could inflate suspicion delays without
+// bound.
+func TestTimeoutCapRespected(t *testing.T) {
+	cfg := Config{
+		Interval:         5 * time.Millisecond,
+		InitialTimeout:   10 * time.Millisecond,
+		TimeoutIncrement: 500 * time.Millisecond,
+		MaxTimeout:       50 * time.Millisecond,
+	}
+	params := netmodel.Setup1()
+	// p2 stalls periodically, causing repeated wrong suspicions and
+	// therefore repeated adaptation.
+	var w *simnet.World
+	params.LatencyFn = func(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+		now := w.Now().Sub(time.Unix(0, 0))
+		if from == 2 && (now/(100*time.Millisecond))%2 == 1 {
+			return 60 * time.Millisecond
+		}
+		return params.Latency
+	}
+	w = simnet.NewWorld(2, params, 3)
+	h1 := NewHeartbeat(w.Node(1), cfg)
+	NewHeartbeat(w.Node(2), cfg)
+	w.RunFor(2 * time.Second)
+	if to := h1.timeout[2]; to > cfg.MaxTimeout {
+		t.Fatalf("timeout adapted to %v, beyond cap %v", to, cfg.MaxTimeout)
+	}
+	// The cap must still allow suspicion of a real crash.
+	w.Crash(2, simnet.DropInFlight)
+	w.RunFor(time.Second)
+	if !h1.Suspects(2) {
+		t.Fatal("capped detector failed to suspect a crashed process")
+	}
+}
+
+func TestScripted(t *testing.T) {
+	s := NewScripted()
+	if s.Suspects(1) {
+		t.Fatal("fresh scripted detector suspects")
+	}
+	var got []bool
+	cancel := s.Subscribe(func(q stack.ProcessID, suspected bool) { got = append(got, suspected) })
+	s.SetSuspected(1, true)
+	s.SetSuspected(1, true) // no-op, no duplicate event
+	s.SetSuspected(1, false)
+	if !s.Suspects(2) == false && s.Suspects(1) {
+		t.Fatal("suspicion state wrong")
+	}
+	if len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("events = %v, want [true false]", got)
+	}
+	cancel()
+	s.SetSuspected(1, true)
+	if len(got) != 2 {
+		t.Fatal("event after unsubscribe")
+	}
+}

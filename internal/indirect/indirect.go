@@ -1,0 +1,71 @@
+// Package indirect exposes the paper's *indirect consensus* algorithms
+// under their paper-facing names and specifications.
+//
+// Indirect consensus (Section 2.3) is consensus whose proposals are pairs
+// (v, rcv): v a set of message identifiers, rcv a predicate true only when
+// the proposing process holds msgs(v). On top of the usual Termination,
+// Uniform integrity, Uniform agreement and Uniform validity, it guarantees
+//
+//	No loss: if a process decides v at time t, then one correct process
+//	has received msgs(v) at time t.
+//
+// The paper shows No loss holds iff every v-valent configuration (any
+// future decision can only be v) is also v-stable (f+1 processes hold
+// msgs(v)).
+//
+// Two algorithms are provided, both built on the shared round machinery of
+// package consensus:
+//
+//   - NewCT — Algorithm 2, the adapted Chandra–Toueg ◇S algorithm.
+//     Resilience f < n/2, unchanged from the original.
+//   - NewMR — Algorithm 3, the adapted Mostéfaoui–Raynal ◇S algorithm.
+//     Resilience f < n/3, *reduced* from the original's f < n/2: its
+//     Phase 2 quorum grows to ⌈(2n+1)/3⌉ so that any two quorums intersect
+//     in at least n−2f ≥ f+1 processes (Figure 2).
+package indirect
+
+import (
+	"abcast/internal/consensus"
+	"abcast/internal/fd"
+	"abcast/internal/stack"
+)
+
+// Service is an indirect-consensus service; see consensus.Service.
+type Service = consensus.Service
+
+// NewCT wires the Chandra–Toueg-based indirect consensus algorithm
+// (Algorithm 2) into the node. rcv is the received-messages predicate
+// supplied by the atomic broadcast layer; decide is the per-instance
+// decision upcall.
+func NewCT(node *stack.Node, det fd.Detector, rcv consensus.Rcv, decide consensus.DecideFn) (*Service, error) {
+	return consensus.NewService(node, consensus.Config{
+		Algo:     consensus.CT,
+		Indirect: true,
+		Rcv:      rcv,
+		Detector: det,
+		Decide:   decide,
+	})
+}
+
+// NewMR wires the Mostéfaoui–Raynal-based indirect consensus algorithm
+// (Algorithm 3) into the node. Note the reduced resilience: f < n/3.
+func NewMR(node *stack.Node, det fd.Detector, rcv consensus.Rcv, decide consensus.DecideFn) (*Service, error) {
+	return consensus.NewService(node, consensus.Config{
+		Algo:     consensus.MR,
+		Indirect: true,
+		Rcv:      rcv,
+		Detector: det,
+		Decide:   decide,
+	})
+}
+
+// QuorumIntersection returns the guaranteed overlap of any two sets of
+// (n-f) processes out of n: n - 2f. Figure 2 of the paper illustrates this
+// for n=7, f=2 (overlap 3). The indirect MR algorithm is safe when this
+// overlap reaches f+1, i.e. when f < n/3.
+func QuorumIntersection(n, f int) int { return n - 2*f }
+
+// MRSafe reports whether the indirect MR algorithm's resilience condition
+// holds: every pair of Phase 2 quorums must intersect in at least f+1
+// processes.
+func MRSafe(n, f int) bool { return QuorumIntersection(n, f) >= f+1 }

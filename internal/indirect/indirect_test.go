@@ -1,0 +1,77 @@
+package indirect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abcast/internal/consensus"
+)
+
+// TestQuorumIntersection reproduces Figure 2's arithmetic: with quorums of
+// size n-f, two quorums share at least n-2f processes, and the indirect MR
+// algorithm is safe exactly when that overlap is at least f+1, i.e. f < n/3.
+func TestQuorumIntersection(t *testing.T) {
+	// The worked example of Figure 2: n=7, f=2 → quorums of 5 intersect
+	// in at least 3 = f+1 processes.
+	if got := QuorumIntersection(7, 2); got != 3 {
+		t.Fatalf("QuorumIntersection(7,2) = %d, want 3", got)
+	}
+	if !MRSafe(7, 2) {
+		t.Fatal("MRSafe(7,2) = false, want true")
+	}
+	// One more failure and the overlap can no longer guarantee a correct
+	// holder of msgs(v).
+	if MRSafe(7, 3) {
+		t.Fatal("MRSafe(7,3) = true, want false")
+	}
+
+	for n := 1; n <= 60; n++ {
+		for f := 0; f < n; f++ {
+			want := 3*f < n // f < n/3
+			if got := MRSafe(n, f); got != want {
+				t.Errorf("MRSafe(%d,%d) = %v, want %v", n, f, got, want)
+			}
+		}
+	}
+}
+
+// TestResilienceFormulasAgree cross-checks the package's quorum algebra
+// against consensus.MaxFaulty: the largest f with MRSafe(n, f) must equal
+// the stated resilience of the indirect MR algorithm for every n.
+func TestResilienceFormulasAgree(t *testing.T) {
+	for n := 1; n <= 50; n++ {
+		maxSafe := -1
+		for f := 0; f < n; f++ {
+			if MRSafe(n, f) {
+				maxSafe = f
+			}
+		}
+		if want := consensus.MaxFaulty(consensus.MR, true, n); maxSafe != want {
+			t.Errorf("n=%d: quorum algebra tolerates f=%d, MaxFaulty says %d", n, maxSafe, want)
+		}
+	}
+}
+
+// TestQuorumIntersectionExhaustive verifies, by direct counting rather than
+// algebra, that n-2f is the tight lower bound of the overlap of two
+// (n-f)-subsets: |A∩B| = |A|+|B|-|A∪B| ≥ 2(n-f)-n.
+func TestQuorumIntersectionExhaustive(t *testing.T) {
+	check := func(n8, f8 uint8) bool {
+		n := int(n8%20) + 1
+		f := int(f8) % n
+		q := n - f
+		// Worst case: A = first q processes, B = last q processes.
+		overlap := 2*q - n
+		if overlap < 0 {
+			overlap = 0
+		}
+		min := QuorumIntersection(n, f)
+		if min < 0 {
+			min = 0
+		}
+		return overlap == min
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+type pingMsg struct{ v int }
+
+func (pingMsg) WireSize() int { return 4 }
+
+// capture installs a handler collecting (from, msg) pairs under a lock.
+type capture struct {
+	mu  sync.Mutex
+	got []int
+}
+
+func (c *capture) handler() stack.Handler {
+	return stack.HandlerFunc(func(_ stack.ProcessID, _ uint64, m stack.Message) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if p, ok := m.(pingMsg); ok {
+			c.got = append(c.got, p.v)
+		}
+	})
+}
+
+func (c *capture) snapshot() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.got...)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestDeliveryAndFIFOPerSender(t *testing.T) {
+	net := NewNetwork(2, WithLatency(100*time.Microsecond))
+	defer net.Close()
+	var c capture
+	net.Node(2).Register(stack.ProtoApp, c.handler())
+	const count = 50
+	net.Do(1, func() {
+		for i := 0; i < count; i++ {
+			net.Proc(1).Send(2, stack.Envelope{Proto: stack.ProtoApp, Msg: pingMsg{v: i}})
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool { return len(c.snapshot()) == count })
+	// With constant latency, per-sender order is preserved.
+	for i, v := range c.snapshot() {
+		if v != i {
+			t.Fatalf("order broken at %d: %v", i, c.snapshot())
+		}
+	}
+}
+
+func TestSelfSendServedOnLoop(t *testing.T) {
+	net := NewNetwork(1)
+	defer net.Close()
+	var c capture
+	net.Node(1).Register(stack.ProtoApp, c.handler())
+	net.Do(1, func() {
+		net.Proc(1).Send(1, stack.Envelope{Proto: stack.ProtoApp, Msg: pingMsg{v: 42}})
+	})
+	waitFor(t, time.Second, func() bool { return len(c.snapshot()) == 1 })
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	net := NewNetwork(2, WithLatency(50*time.Millisecond))
+	defer net.Close()
+	var c capture
+	net.Node(2).Register(stack.ProtoApp, c.handler())
+	net.Do(1, func() {
+		net.Proc(1).Send(2, stack.Envelope{Proto: stack.ProtoApp, Msg: pingMsg{v: 1}})
+	})
+	// Crash the *sender* while the message is in flight: live semantics
+	// drop in-flight messages of crashed senders.
+	time.Sleep(10 * time.Millisecond)
+	net.Crash(1)
+	time.Sleep(100 * time.Millisecond)
+	if len(c.snapshot()) != 0 {
+		t.Fatal("in-flight message from crashed sender delivered")
+	}
+}
+
+func TestCrashedReceiverIgnores(t *testing.T) {
+	net := NewNetwork(2, WithLatency(time.Millisecond))
+	defer net.Close()
+	var c capture
+	net.Node(2).Register(stack.ProtoApp, c.handler())
+	net.Crash(2)
+	net.Do(1, func() {
+		net.Proc(1).Send(2, stack.Envelope{Proto: stack.ProtoApp, Msg: pingMsg{v: 1}})
+	})
+	time.Sleep(50 * time.Millisecond)
+	if len(c.snapshot()) != 0 {
+		t.Fatal("crashed receiver processed a message")
+	}
+}
+
+func TestTimerFiresAndCancels(t *testing.T) {
+	net := NewNetwork(1)
+	defer net.Close()
+	var fired, cancelled atomic.Int32
+	done := make(chan struct{})
+	net.Do(1, func() {
+		net.Proc(1).SetTimer(5*time.Millisecond, func() {
+			fired.Add(1)
+			close(done)
+		})
+		cancel := net.Proc(1).SetTimer(5*time.Millisecond, func() { cancelled.Add(1) })
+		cancel()
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("timer never fired")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times", fired.Load())
+	}
+	if cancelled.Load() != 0 {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestCloseIdempotentAndJoins(t *testing.T) {
+	net := NewNetwork(3)
+	net.Close()
+	net.Close() // second close must be a no-op
+}
+
+func TestMailboxCloseDropsItems(t *testing.T) {
+	m := newMailbox()
+	m.put(func() {})
+	m.close()
+	m.put(func() {}) // dropped
+	stop := make(chan struct{})
+	close(stop)
+	if _, ok := m.get(stop); ok {
+		t.Fatal("got an item from a closed mailbox with closed stop")
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		m.put(func() { got = append(got, i) })
+	}
+	stop := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		fn, ok := m.get(stop)
+		if !ok {
+			t.Fatal("mailbox empty early")
+		}
+		fn()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mailbox not FIFO: %v", got)
+		}
+	}
+}
+
+func TestContextBasics(t *testing.T) {
+	net := NewNetwork(2, WithSeed(9))
+	defer net.Close()
+	p := net.Proc(1)
+	if p.ID() != 1 || p.N() != 2 {
+		t.Fatal("identity wrong")
+	}
+	if p.Crashed() {
+		t.Fatal("fresh process crashed")
+	}
+	p.Work(time.Hour) // must be a no-op, not a sleep
+	if got := p.String(); got != "live-p1" {
+		t.Fatalf("String = %q", got)
+	}
+	if p.Rand() == nil {
+		t.Fatal("nil rng")
+	}
+	if time.Since(p.Now()) > time.Minute {
+		t.Fatal("Now() not wall clock")
+	}
+}

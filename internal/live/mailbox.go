@@ -1,0 +1,61 @@
+package live
+
+import "sync"
+
+// mailbox is an unbounded FIFO of work items. Unboundedness matters:
+// protocol handlers send while handling, so a bounded inbox could deadlock
+// two processes sending to each other under backpressure.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []func()
+	signal chan struct{}
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{signal: make(chan struct{}, 1)}
+}
+
+// put enqueues an item; items enqueued after close are dropped.
+func (m *mailbox) put(fn func()) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.items = append(m.items, fn)
+	m.mu.Unlock()
+	select {
+	case m.signal <- struct{}{}:
+	default:
+	}
+}
+
+// get dequeues the next item, blocking until one is available or stop
+// closes. It returns false only on stop.
+func (m *mailbox) get(stop <-chan struct{}) (func(), bool) {
+	for {
+		m.mu.Lock()
+		if len(m.items) > 0 {
+			fn := m.items[0]
+			m.items[0] = nil
+			m.items = m.items[1:]
+			m.mu.Unlock()
+			return fn, true
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.signal:
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+// close marks the mailbox closed; pending items are discarded.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.items = nil
+}

@@ -1,0 +1,58 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSendRecvCostLinearInSize(t *testing.T) {
+	p := Setup1()
+	small := p.SendCost(0)
+	big := p.SendCost(10000)
+	if small != p.SendOverhead {
+		t.Fatalf("SendCost(0) = %v, want %v", small, p.SendOverhead)
+	}
+	if big-small != 10000*p.SendPerByte {
+		t.Fatalf("per-byte send cost wrong: %v", big-small)
+	}
+	if p.RecvCost(100) != p.RecvOverhead+100*p.RecvPerByte {
+		t.Fatal("RecvCost wrong")
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	p := Params{Bandwidth: 1e6, WirePerMsg: 0}
+	if got := p.TxTime(1e6); got != time.Second {
+		t.Fatalf("TxTime(1MB @ 1MB/s) = %v, want 1s", got)
+	}
+	p.WirePerMsg = 100
+	if got := p.TxTime(0); got != 100*time.Microsecond {
+		t.Fatalf("framing-only TxTime = %v, want 100µs", got)
+	}
+	// Zero bandwidth (Instant) means free transmission.
+	if Instant().TxTime(1e9) != 0 {
+		t.Fatal("Instant network should have zero tx time")
+	}
+}
+
+func TestSetupsOrdering(t *testing.T) {
+	s1, s2 := Setup1(), Setup2()
+	// Setup 2 (P4 + GbE) must dominate Setup 1 (PIII + 100Mb) everywhere.
+	if s2.SendOverhead >= s1.SendOverhead {
+		t.Fatal("Setup2 send overhead should be lower than Setup1")
+	}
+	if s2.Bandwidth <= s1.Bandwidth {
+		t.Fatal("Setup2 bandwidth should be higher than Setup1")
+	}
+	if s2.Latency > s1.Latency {
+		t.Fatal("Setup2 latency should not exceed Setup1")
+	}
+	if s2.RcvCheckPerID >= s1.RcvCheckPerID {
+		t.Fatal("Setup2 rcv check should be cheaper than Setup1")
+	}
+	for _, s := range []Params{s1, s2} {
+		if s.SendOverhead <= 0 || s.RecvOverhead <= 0 || s.Latency <= 0 || s.Bandwidth <= 0 {
+			t.Fatal("setup has non-positive base costs")
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package rbcast implements the broadcast primitives beneath atomic
+// broadcast:
+//
+//   - Eager: reliable broadcast with O(n²) messages — every process relays a
+//     message on first receipt (the algorithm assumed in Chandra & Toueg's
+//     reduction, and the "Reliable broadcast in O(n^2) messages" series of
+//     Figures 5 and 7a).
+//   - Lazy: reliable broadcast with O(n) messages in good runs — receivers
+//     relay a message only if/when the failure detector suspects its sender
+//     (the "Reliable broadcast in O(n) messages" series of Figures 6
+//     and 7b).
+//   - Uniform: uniform reliable broadcast — majority echo, two
+//     communication steps, O(n²) messages, tolerating f < n/2 crashes. Used
+//     by the alternative correct stack the paper compares against in
+//     Section 4.4.
+//
+// All three satisfy Validity, Uniform integrity and Agreement; Uniform
+// additionally satisfies uniform agreement (if *any* process delivers m,
+// every correct process eventually delivers m).
+package rbcast
+
+import (
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/stack"
+)
+
+// Deliver is the upcall invoked exactly once per delivered message.
+type Deliver func(*msg.App)
+
+// Broadcaster is the sending interface used by the atomic broadcast engine.
+type Broadcaster interface {
+	// Broadcast R-broadcasts (or uniform-R-broadcasts) the message to all
+	// processes, including the sender.
+	Broadcast(app *msg.App)
+}
+
+// Kind selects a broadcast algorithm.
+type Kind int
+
+// Available broadcast algorithms.
+const (
+	KindEager   Kind = iota + 1 // O(n²) reliable broadcast
+	KindLazy                    // O(n) good-run reliable broadcast (needs a failure detector)
+	KindUniform                 // uniform reliable broadcast (majority echo)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "rbcast-O(n2)"
+	case KindLazy:
+		return "rbcast-O(n)"
+	case KindUniform:
+		return "uniform-rbcast"
+	default:
+		return "rbcast-unknown"
+	}
+}
+
+// DataMsg carries the application message.
+type DataMsg struct {
+	App *msg.App
+}
+
+// WireSize implements stack.Message.
+func (d DataMsg) WireSize() int { return 1 + d.App.WireSize() }
+
+// EchoMsg is the uniform-broadcast echo; it carries the full message because
+// the echoing process cannot know whether the destination already holds it.
+type EchoMsg struct {
+	App *msg.App
+}
+
+// WireSize implements stack.Message.
+func (e EchoMsg) WireSize() int { return 1 + e.App.WireSize() }
+
+// Eager is the O(n²) reliable broadcast.
+type Eager struct {
+	proto     stack.Proto
+	deliver   Deliver
+	delivered map[msg.ID]bool
+}
+
+var _ Broadcaster = (*Eager)(nil)
+
+// NewEager wires an eager reliable broadcast into the node under
+// stack.ProtoRB.
+func NewEager(node *stack.Node, deliver Deliver) *Eager {
+	e := &Eager{
+		proto:     node.Proto(stack.ProtoRB),
+		deliver:   deliver,
+		delivered: make(map[msg.ID]bool),
+	}
+	node.Register(stack.ProtoRB, stack.HandlerFunc(e.receive))
+	return e
+}
+
+// Broadcast implements Broadcaster.
+func (e *Eager) Broadcast(app *msg.App) {
+	if e.delivered[app.ID] {
+		return
+	}
+	e.delivered[app.ID] = true
+	e.proto.BroadcastOthers(0, DataMsg{App: app})
+	e.deliver(app)
+}
+
+func (e *Eager) receive(_ stack.ProcessID, _ uint64, m stack.Message) {
+	d, ok := m.(DataMsg)
+	if !ok || e.delivered[d.App.ID] {
+		return
+	}
+	e.delivered[d.App.ID] = true
+	// Relay on first receipt: this is what makes the broadcast reliable
+	// (Agreement) despite sender crashes, at O(n²) message cost.
+	e.proto.BroadcastOthers(0, DataMsg{App: d.App})
+	e.deliver(d.App)
+}
+
+// Lazy is the O(n)-messages-in-good-runs reliable broadcast: a receiver
+// relays a message only when the failure detector suspects the message's
+// original sender, so in failure-free, suspicion-free runs each broadcast
+// costs exactly n-1 messages.
+type Lazy struct {
+	proto     stack.Proto
+	deliver   Deliver
+	detector  fd.Detector
+	delivered map[msg.ID]*msg.App // messages seen (nil once relayed)
+	relayed   map[msg.ID]bool
+	bySender  map[stack.ProcessID][]msg.ID // pending relay bookkeeping
+}
+
+var _ Broadcaster = (*Lazy)(nil)
+
+// NewLazy wires a lazy reliable broadcast into the node under
+// stack.ProtoRB. The detector drives crash-triggered relaying.
+func NewLazy(node *stack.Node, detector fd.Detector, deliver Deliver) *Lazy {
+	l := &Lazy{
+		proto:     node.Proto(stack.ProtoRB),
+		deliver:   deliver,
+		detector:  detector,
+		delivered: make(map[msg.ID]*msg.App),
+		relayed:   make(map[msg.ID]bool),
+		bySender:  make(map[stack.ProcessID][]msg.ID),
+	}
+	node.Register(stack.ProtoRB, stack.HandlerFunc(l.receive))
+	detector.Subscribe(func(q stack.ProcessID, suspected bool) {
+		if suspected {
+			l.relaySuspect(q)
+		}
+	})
+	return l
+}
+
+// Broadcast implements Broadcaster.
+func (l *Lazy) Broadcast(app *msg.App) {
+	if _, seen := l.delivered[app.ID]; seen {
+		return
+	}
+	l.delivered[app.ID] = app
+	l.relayed[app.ID] = true // the origin's send is the "relay"
+	l.proto.BroadcastOthers(0, DataMsg{App: app})
+	l.deliver(app)
+}
+
+func (l *Lazy) receive(_ stack.ProcessID, _ uint64, m stack.Message) {
+	d, ok := m.(DataMsg)
+	if !ok {
+		return
+	}
+	if _, seen := l.delivered[d.App.ID]; seen {
+		return
+	}
+	l.delivered[d.App.ID] = d.App
+	origin := d.App.ID.Sender
+	l.bySender[origin] = append(l.bySender[origin], d.App.ID)
+	if l.detector.Suspects(origin) {
+		// The sender is already suspected: relay immediately.
+		l.relayOne(d.App)
+	}
+	l.deliver(d.App)
+}
+
+// relaySuspect relays every message whose origin q is now suspected.
+func (l *Lazy) relaySuspect(q stack.ProcessID) {
+	for _, id := range l.bySender[q] {
+		if app := l.delivered[id]; app != nil {
+			l.relayOne(app)
+		}
+	}
+}
+
+func (l *Lazy) relayOne(app *msg.App) {
+	if l.relayed[app.ID] {
+		return
+	}
+	l.relayed[app.ID] = true
+	l.proto.BroadcastOthers(0, DataMsg{App: app})
+}
+
+// Uniform is uniform reliable broadcast: deliver only once a majority of
+// processes is known to hold the message. Requires f < n/2.
+type Uniform struct {
+	proto     stack.Proto
+	deliver   Deliver
+	have      map[msg.ID]*msg.App
+	holders   map[msg.ID]map[stack.ProcessID]bool
+	delivered map[msg.ID]bool
+}
+
+var _ Broadcaster = (*Uniform)(nil)
+
+// NewUniform wires a uniform reliable broadcast into the node under
+// stack.ProtoURB.
+func NewUniform(node *stack.Node, deliver Deliver) *Uniform {
+	u := &Uniform{
+		proto:     node.Proto(stack.ProtoURB),
+		deliver:   deliver,
+		have:      make(map[msg.ID]*msg.App),
+		holders:   make(map[msg.ID]map[stack.ProcessID]bool),
+		delivered: make(map[msg.ID]bool),
+	}
+	node.Register(stack.ProtoURB, stack.HandlerFunc(u.receive))
+	return u
+}
+
+// Broadcast implements Broadcaster.
+func (u *Uniform) Broadcast(app *msg.App) {
+	if _, seen := u.have[app.ID]; seen {
+		return
+	}
+	u.have[app.ID] = app
+	u.addHolder(app.ID, u.proto.Ctx().ID())
+	u.proto.BroadcastOthers(0, DataMsg{App: app})
+	u.check(app.ID)
+}
+
+func (u *Uniform) receive(from stack.ProcessID, _ uint64, m stack.Message) {
+	var app *msg.App
+	switch mm := m.(type) {
+	case DataMsg:
+		app = mm.App
+	case EchoMsg:
+		app = mm.App
+	default:
+		return
+	}
+	first := false
+	if _, seen := u.have[app.ID]; !seen {
+		u.have[app.ID] = app
+		first = true
+	}
+	u.addHolder(app.ID, from)
+	u.addHolder(app.ID, u.proto.Ctx().ID())
+	if first {
+		// Echo on first receipt so every process learns who holds m.
+		u.proto.BroadcastOthers(0, EchoMsg{App: app})
+	}
+	u.check(app.ID)
+}
+
+func (u *Uniform) addHolder(id msg.ID, p stack.ProcessID) {
+	h, ok := u.holders[id]
+	if !ok {
+		h = make(map[stack.ProcessID]bool, u.proto.Ctx().N())
+		u.holders[id] = h
+	}
+	h[p] = true
+}
+
+// check delivers the message once a majority is known to hold it.
+func (u *Uniform) check(id msg.ID) {
+	if u.delivered[id] {
+		return
+	}
+	if len(u.holders[id]) >= Majority(u.proto.Ctx().N()) {
+		u.delivered[id] = true
+		u.deliver(u.have[id])
+	}
+}
+
+// Majority returns ⌈(n+1)/2⌉, the quorum used by uniform reliable broadcast
+// and by the Chandra–Toueg consensus algorithms.
+func Majority(n int) int { return (n + 2) / 2 }
+
+// New constructs the broadcast of the given kind. The detector may be nil
+// unless kind is KindLazy.
+func New(kind Kind, node *stack.Node, detector fd.Detector, deliver Deliver) Broadcaster {
+	switch kind {
+	case KindEager:
+		return NewEager(node, deliver)
+	case KindLazy:
+		return NewLazy(node, detector, deliver)
+	case KindUniform:
+		return NewUniform(node, deliver)
+	default:
+		panic("rbcast: unknown kind")
+	}
+}

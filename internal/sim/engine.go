@@ -1,0 +1,189 @@
+// Package sim implements a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue, and FIFO resources used to model CPUs and
+// network links.
+//
+// The kernel is deliberately small and generic; the network cost model that
+// the benchmarks rely on lives in package netmodel, and the process/protocol
+// plumbing in package simnet.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// AsTime converts the virtual instant into a time.Time anchored at the Unix
+// epoch, so protocol code can use the standard time package uniformly across
+// runtimes.
+func (t Time) AsTime() time.Time { return time.Unix(0, int64(t)) }
+
+// event is a scheduled callback.
+type event struct {
+	at        Time
+	seq       uint64 // FIFO tie-break for events at the same instant
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation engine. All
+// scheduled callbacks run on the goroutine that calls Run/Step, in
+// deterministic (time, insertion) order.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewEngine returns an engine whose random source is seeded
+// deterministically.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Timer cancels a scheduled event.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Idempotent; cancelling an already
+// fired event has no effect.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// At schedules fn to run at virtual instant t. Scheduling in the past runs
+// the event at the current time (immediately after already queued events at
+// this instant).
+func (e *Engine) At(t Time, fn func()) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step runs the next pending event. It returns false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, advancing the clock
+// to exactly deadline if the simulation goes idle earlier. It returns the
+// number of events executed.
+func (e *Engine) RunUntil(deadline Time) int {
+	executed := 0
+	for len(e.events) > 0 && !e.stopped {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		if e.Step() {
+			executed++
+		}
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return executed
+}
+
+// peek returns the earliest non-cancelled event without removing it.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		if e.events[0].cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}
+
+// Pending reports whether any event remains scheduled.
+func (e *Engine) Pending() bool { return e.peek() != nil }
+
+// Stop halts the engine; subsequent Step/Run calls return immediately.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

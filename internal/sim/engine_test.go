@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.After(3*time.Millisecond, func() { got = append(got, 3) })
+	e.After(1*time.Millisecond, func() { got = append(got, 1) })
+	e.After(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("Now = %v, want 3ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(time.Millisecond), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("events at same instant not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	e.After(time.Millisecond, func() {
+		fired = append(fired, "a")
+		e.After(time.Millisecond, func() { fired = append(fired, "b") })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineSchedulingInPastRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(5*time.Millisecond, func() {
+		e.At(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("past event ran at %v, want now (5ms)", at)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.After(time.Millisecond, func() {})
+	n := e.RunUntil(Time(10 * time.Millisecond))
+	if n != 1 {
+		t.Fatalf("executed %d events, want 1", n)
+	}
+	if e.Now() != Time(10*time.Millisecond) {
+		t.Fatalf("Now = %v, want 10ms", e.Now())
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.After(10*time.Millisecond, func() { fired = true })
+	e.RunUntil(Time(5 * time.Millisecond))
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	if !e.Pending() {
+		t.Fatal("future event lost")
+	}
+	e.RunUntil(Time(20 * time.Millisecond))
+	if !fired {
+		t.Fatal("future event never fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.After(time.Millisecond, func() { count++; e.Stop() })
+	e.After(2*time.Millisecond, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("executed %d events after Stop, want 1", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Acquire(0, 10*time.Millisecond)
+	if s1 != 0 || e1 != Time(10*time.Millisecond) {
+		t.Fatalf("first acquire: start=%v end=%v", s1, e1)
+	}
+	// Submitted while busy: queues behind.
+	s2, e2 := r.Acquire(Time(2*time.Millisecond), 5*time.Millisecond)
+	if s2 != Time(10*time.Millisecond) || e2 != Time(15*time.Millisecond) {
+		t.Fatalf("second acquire: start=%v end=%v", s2, e2)
+	}
+	// Submitted after idle: starts immediately.
+	s3, _ := r.Acquire(Time(20*time.Millisecond), time.Millisecond)
+	if s3 != Time(20*time.Millisecond) {
+		t.Fatalf("third acquire: start=%v", s3)
+	}
+}
+
+func TestResourceExtend(t *testing.T) {
+	var r Resource
+	r.Extend(Time(5*time.Millisecond), 2*time.Millisecond)
+	if r.FreeAt() != Time(7*time.Millisecond) {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+	r.Extend(0, time.Millisecond) // already busy: appends
+	if r.FreeAt() != Time(8*time.Millisecond) {
+		t.Fatalf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(time.Second)
+	if a.Add(time.Second) != Time(2*time.Second) {
+		t.Fatal("Add")
+	}
+	if a.Sub(0) != time.Second {
+		t.Fatal("Sub")
+	}
+	if !a.AsTime().Equal(time.Unix(1, 0)) {
+		t.Fatal("AsTime")
+	}
+}

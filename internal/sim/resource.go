@@ -1,0 +1,56 @@
+package sim
+
+import "time"
+
+// Resource models a FIFO server (a CPU or a network link): work items are
+// served one at a time, in the order they are submitted, each occupying the
+// resource for its service duration.
+//
+// Resource does not schedule events itself; callers combine the returned
+// completion instants with Engine.At.
+type Resource struct {
+	busyUntil Time
+}
+
+// Acquire submits a work item of duration d at instant now. It returns the
+// instant service starts (>= now) and the instant it completes. The resource
+// is busy until the returned end time.
+func (r *Resource) Acquire(now Time, d time.Duration) (start, end Time) {
+	start = now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start.Add(d)
+	r.busyUntil = end
+	return start, end
+}
+
+// Extend lengthens the current busy period by d, starting no earlier than
+// now. It is used to charge extra CPU work discovered while an event handler
+// is executing (e.g. the rcv(v) checks of indirect consensus).
+func (r *Resource) Extend(now Time, d time.Duration) {
+	if r.busyUntil < now {
+		r.busyUntil = now
+	}
+	r.busyUntil = r.busyUntil.Add(d)
+}
+
+// FreeAt returns the instant the resource becomes idle.
+func (r *Resource) FreeAt() Time { return r.busyUntil }
+
+// Utilization returns the fraction of the window [from, to] during which the
+// resource was busy, assuming busyUntil only moved forward. It is a coarse
+// measure used by benchmark diagnostics.
+func (r *Resource) Utilization(from, to Time) float64 {
+	if to <= from {
+		return 0
+	}
+	busy := r.busyUntil
+	if busy > to {
+		busy = to
+	}
+	if busy <= from {
+		return 0
+	}
+	return float64(busy-from) / float64(to-from)
+}

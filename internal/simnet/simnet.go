@@ -1,0 +1,337 @@
+// Package simnet executes protocol stacks on the discrete-event simulator.
+//
+// A World hosts n processes. Each process has a FIFO CPU resource; each
+// ordered pair of processes is connected by a FIFO link resource. Message
+// costs come from a netmodel.Params. All processes run on a single
+// deterministic event loop, so a simulation with a fixed seed is exactly
+// reproducible.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"abcast/internal/netmodel"
+	"abcast/internal/sim"
+	"abcast/internal/stack"
+)
+
+// World is a simulated distributed system.
+type World struct {
+	eng    *sim.Engine
+	params netmodel.Params
+	procs  []*Proc // index 0 unused; processes are 1..n
+	links  map[linkKey]*sim.Resource
+
+	// dropped marks crashed senders whose in-flight messages must be
+	// discarded on arrival (the adversary's choice permitted by reliable
+	// channels, which only guarantee delivery between correct processes).
+	dropped map[stack.ProcessID]bool
+
+	// Debug enables per-process log output through Logf.
+	Debug bool
+	// LogSink receives debug lines when Debug is set; defaults to stdout
+	// via fmt.Printf when nil.
+	LogSink func(line string)
+
+	msgsSent  int64
+	bytesSent int64
+}
+
+type linkKey struct{ from, to stack.ProcessID }
+
+// NewWorld creates a simulated system of n processes with the given network
+// parameters and deterministic seed.
+func NewWorld(n int, params netmodel.Params, seed int64) *World {
+	w := &World{
+		eng:     sim.NewEngine(seed),
+		params:  params,
+		procs:   make([]*Proc, n+1),
+		links:   make(map[linkKey]*sim.Resource, n*n),
+		dropped: make(map[stack.ProcessID]bool),
+	}
+	for i := 1; i <= n; i++ {
+		p := &Proc{
+			world: w,
+			id:    stack.ProcessID(i),
+			n:     n,
+			rng:   rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+		p.node = stack.NewNode(p)
+		w.procs[i] = p
+	}
+	return w
+}
+
+// Engine exposes the underlying event engine (tests and the bench harness
+// schedule workload events through it).
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Params returns the network parameters in use.
+func (w *World) Params() netmodel.Params { return w.params }
+
+// N returns the number of processes.
+func (w *World) N() int { return len(w.procs) - 1 }
+
+// Node returns the protocol node of process p, for wiring layers.
+func (w *World) Node(p stack.ProcessID) *stack.Node { return w.procs[p].node }
+
+// Proc returns the runtime context of process p.
+func (w *World) Proc(p stack.ProcessID) *Proc { return w.procs[p] }
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Time { return w.eng.Now().AsTime() }
+
+// Run processes events until the simulation goes idle.
+func (w *World) Run() { w.eng.Run() }
+
+// RunFor processes events for d of virtual time.
+func (w *World) RunFor(d time.Duration) {
+	w.eng.RunUntil(w.eng.Now().Add(d))
+}
+
+// After schedules fn on process p's event loop after d of virtual time,
+// respecting p's CPU availability. It is the entry point used by workload
+// generators and tests to inject application events.
+func (w *World) After(p stack.ProcessID, d time.Duration, fn func()) (cancel func()) {
+	return w.procs[p].SetTimer(d, fn)
+}
+
+// Crash semantics for in-flight messages.
+type CrashMode int
+
+const (
+	// DropInFlight discards every message from the crashed process that
+	// has not yet been delivered.
+	DropInFlight CrashMode = iota + 1
+	// DeliverInFlight lets messages already sent by the crashed process
+	// reach their destinations.
+	DeliverInFlight
+)
+
+// Crash stops process p. Depending on mode, its undelivered messages are
+// dropped or still delivered.
+func (w *World) Crash(p stack.ProcessID, mode CrashMode) {
+	w.procs[p].crashed = true
+	if mode == DropInFlight {
+		w.dropped[p] = true
+	}
+}
+
+// MsgsSent and BytesSent report global traffic counters (network messages
+// only; local self-deliveries are excluded).
+func (w *World) MsgsSent() int64  { return w.msgsSent }
+func (w *World) BytesSent() int64 { return w.bytesSent }
+
+func (w *World) link(from, to stack.ProcessID) *sim.Resource {
+	k := linkKey{from, to}
+	l, ok := w.links[k]
+	if !ok {
+		l = &sim.Resource{}
+		w.links[k] = l
+	}
+	return l
+}
+
+// Proc is one simulated process; it implements stack.Context.
+//
+// Incoming events (message deliveries, local deliveries, timer callbacks)
+// pass through a FIFO run queue served by the process's CPU: each item
+// first occupies the CPU for its processing cost, then its handler runs.
+// Handlers may charge additional CPU (Work, send costs), which delays every
+// later item — this is what makes the rcv(v) check cost of indirect
+// consensus visible in end-to-end latency.
+type Proc struct {
+	world   *World
+	id      stack.ProcessID
+	n       int
+	cpu     sim.Resource
+	node    *stack.Node
+	rng     *rand.Rand
+	crashed bool
+
+	queue       []cpuTask
+	pumpArmed   bool
+	taskRunning bool
+}
+
+// cpuTask is one queued unit of process work.
+type cpuTask struct {
+	cost time.Duration
+	fn   func()
+}
+
+var _ stack.Context = (*Proc)(nil)
+
+// Node returns the protocol node hosted by this process.
+func (p *Proc) Node() *stack.Node { return p.node }
+
+// ID implements stack.Context.
+func (p *Proc) ID() stack.ProcessID { return p.id }
+
+// N implements stack.Context.
+func (p *Proc) N() int { return p.n }
+
+// Now implements stack.Context.
+func (p *Proc) Now() time.Time { return p.world.eng.Now().AsTime() }
+
+// Rand implements stack.Context.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Crashed implements stack.Context.
+func (p *Proc) Crashed() bool { return p.crashed }
+
+// Work implements stack.Context: it charges d of CPU time, delaying this
+// process's subsequent sends and event handling.
+func (p *Proc) Work(d time.Duration) {
+	if d > 0 {
+		p.cpu.Extend(p.world.eng.Now(), d)
+	}
+}
+
+// Logf implements stack.Context.
+func (p *Proc) Logf(format string, args ...any) {
+	if !p.world.Debug {
+		return
+	}
+	line := fmt.Sprintf("[%12s p%d] %s",
+		p.world.eng.Now().Sub(0), p.id, fmt.Sprintf(format, args...))
+	if p.world.LogSink != nil {
+		p.world.LogSink(line)
+		return
+	}
+	fmt.Println(line)
+}
+
+// Send implements stack.Context.
+func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
+	if p.crashed {
+		return
+	}
+	w := p.world
+	now := w.eng.Now()
+	if to == p.id {
+		// Local delivery: CPU cost only, no network.
+		p.exec(w.params.LocalDeliveryCost, func() {
+			p.node.Dispatch(p.id, env)
+		})
+		return
+	}
+	size := env.WireSize()
+	w.msgsSent++
+	w.bytesSent += int64(size)
+
+	// Sender CPU: serialize/enqueue.
+	_, cpuDone := p.cpu.Acquire(now, w.params.SendCost(size))
+	// Link: FIFO transmission at link bandwidth.
+	_, txDone := w.link(p.id, to).Acquire(cpuDone, w.params.TxTime(size))
+	// Propagation delay.
+	lat := w.latency(p.id, to, env)
+	arrival := txDone.Add(lat)
+
+	from := p.id
+	dst := w.procs[to]
+	w.eng.At(arrival, func() { dst.arrive(from, env, size) })
+}
+
+// latency computes the propagation delay for one message.
+func (w *World) latency(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+	if w.params.LatencyFn != nil {
+		return w.params.LatencyFn(from, to, env)
+	}
+	lat := w.params.Latency
+	if j := w.params.Jitter; j > 0 {
+		lat += time.Duration(w.eng.Rand().Int63n(int64(2*j))) - j
+		if lat < 0 {
+			lat = 0
+		}
+	}
+	return lat
+}
+
+// arrive runs on the destination at wire-arrival time: it enqueues the
+// message on the destination's CPU run queue.
+func (p *Proc) arrive(from stack.ProcessID, env stack.Envelope, size int) {
+	w := p.world
+	if p.crashed || w.dropped[from] {
+		return
+	}
+	p.exec(w.params.RecvCost(size), func() {
+		if !w.dropped[from] {
+			p.node.Dispatch(from, env)
+		}
+	})
+}
+
+// exec appends a work item to the CPU run queue.
+func (p *Proc) exec(cost time.Duration, fn func()) {
+	if p.crashed {
+		return
+	}
+	p.queue = append(p.queue, cpuTask{cost: cost, fn: fn})
+	p.pump()
+}
+
+// pump arms the next run-queue step: when the CPU goes idle, the head task
+// charges its processing cost and then runs. Handlers may extend the busy
+// period (Work, send costs), so the pump re-checks idleness each time.
+func (p *Proc) pump() {
+	if p.pumpArmed || p.taskRunning || len(p.queue) == 0 {
+		return
+	}
+	p.pumpArmed = true
+	eng := p.world.eng
+	now := eng.Now()
+	at := p.cpu.FreeAt()
+	if at < now {
+		at = now
+	}
+	eng.At(at, func() {
+		p.pumpArmed = false
+		if p.crashed {
+			p.queue = nil
+			return
+		}
+		now := eng.Now()
+		if p.cpu.FreeAt() > now {
+			// Busy period was extended since this step was armed.
+			p.pump()
+			return
+		}
+		if len(p.queue) == 0 {
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		p.cpu.Extend(now, task.cost)
+		p.taskRunning = true
+		eng.At(p.cpu.FreeAt(), func() {
+			if !p.crashed {
+				task.fn()
+			}
+			p.taskRunning = false
+			p.pump()
+		})
+	})
+}
+
+// SetTimer implements stack.Context. The callback runs on the process's
+// run queue once the delay elapses and the CPU is free.
+func (p *Proc) SetTimer(d time.Duration, fn func()) (cancel func()) {
+	cancelled := false
+	tm := p.world.eng.After(d, func() {
+		if p.crashed || cancelled {
+			return
+		}
+		p.exec(0, func() {
+			if !cancelled {
+				fn()
+			}
+		})
+	})
+	return func() {
+		cancelled = true
+		tm.Cancel()
+	}
+}

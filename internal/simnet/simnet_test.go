@@ -1,0 +1,266 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/netmodel"
+	"abcast/internal/stack"
+)
+
+// pingMsg is a trivial test message.
+type pingMsg struct{ size int }
+
+func (p pingMsg) WireSize() int { return p.size }
+
+// register installs a capture handler on process p.
+func register(w *World, p stack.ProcessID, fn func(from stack.ProcessID, m stack.Message)) {
+	w.Node(p).Register(stack.ProtoApp, stack.HandlerFunc(
+		func(from stack.ProcessID, _ uint64, m stack.Message) { fn(from, m) }))
+}
+
+func send(w *World, from, to stack.ProcessID, m stack.Message) {
+	w.Proc(from).Send(to, stack.Envelope{Proto: stack.ProtoApp, Msg: m})
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	w := NewWorld(2, netmodel.Setup1(), 1)
+	var got []stack.ProcessID
+	register(w, 2, func(from stack.ProcessID, m stack.Message) { got = append(got, from) })
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 10}) })
+	w.RunFor(time.Second)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestLatencyRespected(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Jitter = 0
+	w := NewWorld(2, params, 1)
+	var at time.Duration = -1
+	register(w, 2, func(stack.ProcessID, stack.Message) {
+		at = w.Now().Sub(time.Unix(0, 0))
+	})
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if at < params.Latency {
+		t.Fatalf("delivered after %v, below propagation latency %v", at, params.Latency)
+	}
+	if at > params.Latency+2*time.Millisecond {
+		t.Fatalf("delivered after %v, far above latency %v", at, params.Latency)
+	}
+}
+
+// TestPerLinkFIFO: two messages on the same link keep their order.
+func TestPerLinkFIFO(t *testing.T) {
+	w := NewWorld(2, netmodel.Setup1(), 1)
+	var sizes []int
+	register(w, 2, func(_ stack.ProcessID, m stack.Message) {
+		sizes = append(sizes, m.(pingMsg).size)
+	})
+	w.After(1, 0, func() {
+		send(w, 1, 2, pingMsg{size: 5000}) // slow, first
+		send(w, 1, 2, pingMsg{size: 1})    // fast, second
+	})
+	w.RunFor(time.Second)
+	if len(sizes) != 2 || sizes[0] != 5000 || sizes[1] != 1 {
+		t.Fatalf("link not FIFO: %v", sizes)
+	}
+}
+
+// TestBandwidthQueueing: pushing many large messages through a link takes at
+// least size/bandwidth time in aggregate.
+func TestBandwidthQueueing(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Jitter = 0
+	w := NewWorld(2, params, 1)
+	const count, size = 50, 10000
+	var last time.Duration
+	register(w, 2, func(stack.ProcessID, stack.Message) {
+		last = w.Now().Sub(time.Unix(0, 0))
+	})
+	w.After(1, 0, func() {
+		for i := 0; i < count; i++ {
+			send(w, 1, 2, pingMsg{size: size})
+		}
+	})
+	w.RunFor(10 * time.Second)
+	wire := float64(count*(size+params.WirePerMsg)) / params.Bandwidth
+	minTotal := time.Duration(wire * float64(time.Second))
+	if last < minTotal {
+		t.Fatalf("%d×%dB drained in %v, faster than link bandwidth allows (%v)",
+			count, size, last, minTotal)
+	}
+}
+
+// TestCPUCostSerializesHandlers: Work() performed by one handler delays the
+// next delivery's processing.
+func TestCPUCostSerializesHandlers(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Jitter = 0
+	w := NewWorld(3, params, 1)
+	var times []time.Duration
+	w.Node(2).Register(stack.ProtoApp, stack.HandlerFunc(
+		func(from stack.ProcessID, _ uint64, m stack.Message) {
+			times = append(times, w.Now().Sub(time.Unix(0, 0)))
+			w.Proc(2).Work(10 * time.Millisecond)
+		}))
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	w.After(3, 0, func() { send(w, 3, 2, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if len(times) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(times))
+	}
+	if gap := times[1] - times[0]; gap < 10*time.Millisecond {
+		t.Fatalf("second handler ran %v after first; Work(10ms) not charged", gap)
+	}
+}
+
+func TestSelfSendLoopsBack(t *testing.T) {
+	w := NewWorld(1, netmodel.Setup1(), 1)
+	got := 0
+	register(w, 1, func(from stack.ProcessID, m stack.Message) { got++ })
+	w.After(1, 0, func() { send(w, 1, 1, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if got != 1 {
+		t.Fatalf("self deliveries = %d", got)
+	}
+	if w.MsgsSent() != 0 {
+		t.Fatal("self-send counted as network traffic")
+	}
+}
+
+func TestCrashStopsProcess(t *testing.T) {
+	w := NewWorld(2, netmodel.Setup1(), 1)
+	got := 0
+	register(w, 2, func(stack.ProcessID, stack.Message) { got++ })
+	w.Crash(2, DeliverInFlight)
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if got != 0 {
+		t.Fatal("crashed process handled a message")
+	}
+	// Crashed process cannot send either.
+	w.After(2, 0, func() { send(w, 2, 1, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if w.MsgsSent() != 1 { // only p1's original send
+		t.Fatalf("MsgsSent = %d, crashed sender leaked traffic", w.MsgsSent())
+	}
+}
+
+func TestCrashDropInFlight(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Latency = 50 * time.Millisecond // long flight time
+	params.Jitter = 0
+	w := NewWorld(2, params, 1)
+	got := 0
+	register(w, 2, func(stack.ProcessID, stack.Message) { got++ })
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	// Crash the sender while the message is in flight, dropping it.
+	w.After(2, 10*time.Millisecond, func() { w.Crash(1, DropInFlight) })
+	w.RunFor(time.Second)
+	if got != 0 {
+		t.Fatal("in-flight message from crashed sender delivered despite DropInFlight")
+	}
+}
+
+func TestCrashDeliverInFlight(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Latency = 50 * time.Millisecond
+	params.Jitter = 0
+	w := NewWorld(2, params, 1)
+	got := 0
+	register(w, 2, func(stack.ProcessID, stack.Message) { got++ })
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	w.After(2, 10*time.Millisecond, func() { w.Crash(1, DeliverInFlight) })
+	w.RunFor(time.Second)
+	if got != 1 {
+		t.Fatal("in-flight message lost despite DeliverInFlight")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	w := NewWorld(1, netmodel.Setup1(), 1)
+	fired := false
+	var cancel func()
+	w.After(1, 0, func() {
+		cancel = w.Proc(1).SetTimer(10*time.Millisecond, func() { fired = true })
+	})
+	w.After(1, time.Millisecond, func() { cancel() })
+	w.RunFor(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []time.Duration {
+		params := netmodel.Setup1() // jitter active: exercises the RNG
+		w := NewWorld(3, params, 99)
+		var times []time.Duration
+		for i := 2; i <= 3; i++ {
+			register(w, stack.ProcessID(i), func(stack.ProcessID, stack.Message) {
+				times = append(times, w.Now().Sub(time.Unix(0, 0)))
+			})
+		}
+		w.After(1, 0, func() {
+			for i := 0; i < 20; i++ {
+				send(w, 1, 2, pingMsg{size: 100})
+				send(w, 1, 3, pingMsg{size: 100})
+			}
+		})
+		w.RunFor(time.Second)
+		return times
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at %v vs %v: simulation not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdversarialLatencyFn(t *testing.T) {
+	params := netmodel.Setup1()
+	params.LatencyFn = func(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+		if to == 3 {
+			return 500 * time.Millisecond
+		}
+		return time.Microsecond
+	}
+	w := NewWorld(3, params, 1)
+	var order []stack.ProcessID
+	for i := 2; i <= 3; i++ {
+		i := i
+		register(w, stack.ProcessID(i), func(stack.ProcessID, stack.Message) {
+			order = append(order, stack.ProcessID(i))
+		})
+	}
+	w.After(1, 0, func() {
+		send(w, 1, 3, pingMsg{size: 1}) // sent first, arrives last
+		send(w, 1, 2, pingMsg{size: 1})
+	})
+	w.RunFor(time.Second)
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("adversarial reordering failed: %v", order)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	params := netmodel.Setup1()
+	w := NewWorld(2, params, 1)
+	register(w, 2, func(stack.ProcessID, stack.Message) {})
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 88}) })
+	w.RunFor(time.Second)
+	if w.MsgsSent() != 1 {
+		t.Fatalf("MsgsSent = %d", w.MsgsSent())
+	}
+	wantBytes := int64(88 + 12) // payload + envelope header
+	if w.BytesSent() != wantBytes {
+		t.Fatalf("BytesSent = %d, want %d", w.BytesSent(), wantBytes)
+	}
+}

@@ -1,0 +1,189 @@
+// Package stack provides the protocol-composition framework shared by the
+// simulated and the live (goroutine) runtimes.
+//
+// A distributed protocol is written once, as an event-driven Handler, and
+// executed unchanged on either runtime. This mirrors the design of the Neko
+// framework used in the paper, where the same protocol implementation runs in
+// a simulated environment and on a real network.
+//
+// Each process hosts a Node. A Node multiplexes several protocol layers
+// (failure detector, reliable broadcast, consensus, atomic broadcast), each
+// identified by a ProtoID. Protocol messages travel wrapped in an Envelope
+// that carries the protocol id and, for protocols that run many independent
+// instances (consensus), an instance number.
+//
+// All events of a process — message deliveries and timer firings — are
+// executed sequentially, so protocol implementations need no internal
+// locking.
+package stack
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ProcessID identifies a process. Processes are numbered 1..n as in the
+// paper (Π = {p1, ..., pn}).
+type ProcessID int
+
+// Message is any protocol message. WireSize reports the number of bytes the
+// message would occupy on the wire; the simulated network charges bandwidth
+// and CPU per-byte costs based on it.
+type Message interface {
+	WireSize() int
+}
+
+// ProtoID identifies a protocol layer within a Node.
+type ProtoID uint8
+
+// Well-known protocol ids used by this repository's layers.
+const (
+	ProtoFD    ProtoID = 1 // heartbeat failure detector
+	ProtoRB    ProtoID = 2 // reliable broadcast
+	ProtoURB   ProtoID = 3 // uniform reliable broadcast
+	ProtoCons  ProtoID = 4 // consensus / indirect consensus
+	ProtoApp   ProtoID = 5 // application-level traffic (examples)
+	ProtoBench ProtoID = 6 // benchmark harness control traffic
+)
+
+// Envelope wraps a protocol message for transport.
+type Envelope struct {
+	Proto ProtoID
+	Inst  uint64 // instance number (e.g. consensus serial number k); 0 if unused
+	Msg   Message
+}
+
+// envelopeHeaderBytes approximates the header overhead of the envelope
+// (protocol id, instance number, message type tag).
+const envelopeHeaderBytes = 12
+
+// WireSize implements Message.
+func (e Envelope) WireSize() int {
+	return envelopeHeaderBytes + e.Msg.WireSize()
+}
+
+// Context is the interface a runtime offers to a process. It is the only
+// way protocol code interacts with the outside world, which keeps protocol
+// implementations runtime-agnostic.
+type Context interface {
+	// ID returns this process's id (1-based).
+	ID() ProcessID
+	// N returns the total number of processes in the system.
+	N() int
+	// Now returns the current time. Virtual in the simulator, wall-clock
+	// in the live runtime.
+	Now() time.Time
+	// Send transmits an envelope to the given process. Sending to the
+	// local process is allowed and is delivered through the normal
+	// dispatch path without crossing the network.
+	Send(to ProcessID, env Envelope)
+	// SetTimer schedules fn to run on this process's event loop after d.
+	// The returned function cancels the timer (idempotent).
+	SetTimer(d time.Duration, fn func()) (cancel func())
+	// Work charges d of CPU time to this process. In the simulator this
+	// delays the process's subsequent sends and event handling; in the
+	// live runtime it is a no-op. It models computation such as the
+	// rcv(v) identifier-set checks of indirect consensus.
+	Work(d time.Duration)
+	// Rand returns this process's deterministic random source.
+	Rand() *rand.Rand
+	// Crashed reports whether this process has crashed. A crashed process
+	// receives no further events.
+	Crashed() bool
+	// Logf records a debug log line attributed to this process.
+	Logf(format string, args ...any)
+}
+
+// Handler is a protocol layer: it receives the messages addressed to its
+// ProtoID.
+type Handler interface {
+	Receive(from ProcessID, inst uint64, m Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ProcessID, inst uint64, m Message)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(from ProcessID, inst uint64, m Message) {
+	f(from, inst, m)
+}
+
+// Node multiplexes protocol layers on a single process.
+type Node struct {
+	ctx      Context
+	handlers map[ProtoID]Handler
+}
+
+// NewNode creates a node bound to the given runtime context.
+func NewNode(ctx Context) *Node {
+	return &Node{
+		ctx:      ctx,
+		handlers: make(map[ProtoID]Handler),
+	}
+}
+
+// Context returns the runtime context the node is bound to.
+func (n *Node) Context() Context { return n.ctx }
+
+// Register installs the handler for a protocol id. Registering the same id
+// twice replaces the previous handler; protocols are wired once at startup.
+func (n *Node) Register(p ProtoID, h Handler) {
+	n.handlers[p] = h
+}
+
+// Dispatch routes an incoming envelope to the protocol layer it belongs to.
+// Envelopes for unregistered protocols are dropped; this happens only when a
+// stack variant does not include a given layer.
+func (n *Node) Dispatch(from ProcessID, env Envelope) {
+	if h, ok := n.handlers[env.Proto]; ok {
+		h.Receive(from, env.Inst, env.Msg)
+	}
+}
+
+// Proto returns a protocol-scoped sending helper for the given layer.
+func (n *Node) Proto(id ProtoID) Proto {
+	return Proto{node: n, id: id}
+}
+
+// Proto is a protocol-scoped view of a Node: sends are automatically wrapped
+// in an Envelope carrying the protocol's id.
+type Proto struct {
+	node *Node
+	id   ProtoID
+}
+
+// Ctx returns the underlying runtime context.
+func (p Proto) Ctx() Context { return p.node.ctx }
+
+// Send transmits m to process q under this protocol's id.
+func (p Proto) Send(q ProcessID, inst uint64, m Message) {
+	p.node.ctx.Send(q, Envelope{Proto: p.id, Inst: inst, Msg: m})
+}
+
+// Broadcast transmits m to every process, including the sender. The paper's
+// pseudo-code "send to all" includes the sending process; local delivery
+// does not cross the network.
+func (p Proto) Broadcast(inst uint64, m Message) {
+	n := p.node.ctx.N()
+	self := p.node.ctx.ID()
+	for q := ProcessID(1); q <= ProcessID(n); q++ {
+		if q == self {
+			continue
+		}
+		p.Send(q, inst, m)
+	}
+	// Deliver to self last so that, on the live runtime, remote sends are
+	// already queued before local processing triggers follow-up traffic.
+	p.Send(self, inst, m)
+}
+
+// BroadcastOthers transmits m to every process except the sender.
+func (p Proto) BroadcastOthers(inst uint64, m Message) {
+	n := p.node.ctx.N()
+	self := p.node.ctx.ID()
+	for q := ProcessID(1); q <= ProcessID(n); q++ {
+		if q != self {
+			p.Send(q, inst, m)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeCtx is a minimal Context capturing sends.
+type fakeCtx struct {
+	id    ProcessID
+	n     int
+	sends []struct {
+		to  ProcessID
+		env Envelope
+	}
+}
+
+var _ Context = (*fakeCtx)(nil)
+
+func (f *fakeCtx) ID() ProcessID { return f.id }
+func (f *fakeCtx) N() int        { return f.n }
+func (f *fakeCtx) Now() time.Time {
+	return time.Unix(0, 0)
+}
+func (f *fakeCtx) Send(to ProcessID, env Envelope) {
+	f.sends = append(f.sends, struct {
+		to  ProcessID
+		env Envelope
+	}{to, env})
+}
+func (f *fakeCtx) SetTimer(time.Duration, func()) func() { return func() {} }
+func (f *fakeCtx) Work(time.Duration)                    {}
+func (f *fakeCtx) Rand() *rand.Rand                      { return rand.New(rand.NewSource(1)) }
+func (f *fakeCtx) Crashed() bool                         { return false }
+func (f *fakeCtx) Logf(string, ...any)                   {}
+
+type testMsg struct{ size int }
+
+func (m testMsg) WireSize() int { return m.size }
+
+func TestEnvelopeWireSize(t *testing.T) {
+	env := Envelope{Proto: ProtoRB, Inst: 4, Msg: testMsg{size: 100}}
+	if got := env.WireSize(); got != 112 {
+		t.Fatalf("WireSize = %d, want 112 (header 12 + payload 100)", got)
+	}
+}
+
+func TestNodeDispatchRouting(t *testing.T) {
+	ctx := &fakeCtx{id: 1, n: 3}
+	node := NewNode(ctx)
+	var gotRB, gotCons []uint64
+	node.Register(ProtoRB, HandlerFunc(func(_ ProcessID, inst uint64, _ Message) {
+		gotRB = append(gotRB, inst)
+	}))
+	node.Register(ProtoCons, HandlerFunc(func(_ ProcessID, inst uint64, _ Message) {
+		gotCons = append(gotCons, inst)
+	}))
+	node.Dispatch(2, Envelope{Proto: ProtoRB, Inst: 7, Msg: testMsg{}})
+	node.Dispatch(2, Envelope{Proto: ProtoCons, Inst: 9, Msg: testMsg{}})
+	node.Dispatch(2, Envelope{Proto: ProtoFD, Msg: testMsg{}}) // unregistered: dropped
+	if len(gotRB) != 1 || gotRB[0] != 7 {
+		t.Fatalf("rb got %v", gotRB)
+	}
+	if len(gotCons) != 1 || gotCons[0] != 9 {
+		t.Fatalf("cons got %v", gotCons)
+	}
+}
+
+func TestProtoSendWraps(t *testing.T) {
+	ctx := &fakeCtx{id: 1, n: 3}
+	node := NewNode(ctx)
+	p := node.Proto(ProtoCons)
+	p.Send(2, 5, testMsg{size: 10})
+	if len(ctx.sends) != 1 {
+		t.Fatalf("sends = %d", len(ctx.sends))
+	}
+	s := ctx.sends[0]
+	if s.to != 2 || s.env.Proto != ProtoCons || s.env.Inst != 5 {
+		t.Fatalf("send = %+v", s)
+	}
+}
+
+func TestBroadcastIncludesSelfLast(t *testing.T) {
+	ctx := &fakeCtx{id: 2, n: 3}
+	node := NewNode(ctx)
+	node.Proto(ProtoRB).Broadcast(0, testMsg{})
+	if len(ctx.sends) != 3 {
+		t.Fatalf("broadcast sent %d messages, want 3", len(ctx.sends))
+	}
+	// Remote destinations first, self last.
+	if ctx.sends[len(ctx.sends)-1].to != 2 {
+		t.Fatalf("self-delivery not last: %+v", ctx.sends)
+	}
+	seen := map[ProcessID]bool{}
+	for _, s := range ctx.sends {
+		seen[s.to] = true
+	}
+	for q := ProcessID(1); q <= 3; q++ {
+		if !seen[q] {
+			t.Fatalf("broadcast missed %d", q)
+		}
+	}
+}
+
+func TestBroadcastOthersExcludesSelf(t *testing.T) {
+	ctx := &fakeCtx{id: 2, n: 4}
+	node := NewNode(ctx)
+	node.Proto(ProtoRB).BroadcastOthers(0, testMsg{})
+	if len(ctx.sends) != 3 {
+		t.Fatalf("sent %d, want 3", len(ctx.sends))
+	}
+	for _, s := range ctx.sends {
+		if s.to == 2 {
+			t.Fatal("BroadcastOthers sent to self")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Median() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{4, 1, 3, 2, 5} {
+		s.Add(x)
+	}
+	if !almost(s.Mean(), 3) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if !almost(s.Median(), 3) {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if !almost(s.Min(), 1) || !almost(s.Max(), 5) {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !almost(s.StdDev(), 2) {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0.95); !almost(got, 95) {
+		t.Fatalf("P95 = %v", got)
+	}
+	if got := s.Quantile(0); !almost(got, 1) {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := s.Quantile(1); !almost(got, 100) {
+		t.Fatalf("Q1 = %v", got)
+	}
+}
+
+func TestAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(1) // must re-sort lazily
+	if !almost(s.Min(), 1) {
+		t.Fatalf("Min after late Add = %v", s.Min())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3} {
+		s.Add(x)
+	}
+	sum := s.Summarize()
+	if sum.N != 3 || !almost(sum.Mean, 2) || !almost(sum.Min, 1) || !almost(sum.Max, 3) {
+		t.Fatalf("Summary = %+v", sum)
+	}
+}
+
+// Property: quantiles are monotone and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	check := func(seed int64, n8 uint8) bool {
+		n := int(n8)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		prev := s.Min()
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

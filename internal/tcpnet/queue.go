@@ -1,0 +1,110 @@
+package tcpnet
+
+import (
+	"sync"
+	"time"
+)
+
+// queue is an unbounded FIFO of work items (same contract as the live
+// runtime's mailbox: unboundedness prevents send/receive deadlocks).
+type queue struct {
+	mu     sync.Mutex
+	items  []func()
+	signal chan struct{}
+	closed bool
+}
+
+func newQueue() *queue {
+	return &queue{signal: make(chan struct{}, 1)}
+}
+
+// put enqueues an item; items enqueued after close are dropped.
+func (q *queue) put(fn func()) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, fn)
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// get dequeues the next item, blocking until one arrives or stop closes.
+func (q *queue) get(stop <-chan struct{}) (func(), bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			fn := q.items[0]
+			q.items[0] = nil
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return fn, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.signal:
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+// close marks the queue closed and discards pending items.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.items = nil
+}
+
+// timerRegistry tracks outstanding timers so Close can stop them; timers
+// are created under the lock so a firing callback's deregistration is
+// ordered after registration.
+type timerRegistry struct {
+	mu     sync.Mutex
+	timers map[uint64]*time.Timer
+	nextID uint64
+}
+
+// schedule arms fn after d; the returned function cancels it.
+func (tr *timerRegistry) schedule(d time.Duration, fn func()) (cancel func()) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.timers == nil {
+		tr.timers = make(map[uint64]*time.Timer)
+	}
+	id := tr.nextID
+	tr.nextID++
+	t := time.AfterFunc(d, func() {
+		tr.remove(id)
+		fn()
+	})
+	tr.timers[id] = t
+	return func() {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		if t, ok := tr.timers[id]; ok {
+			t.Stop()
+			delete(tr.timers, id)
+		}
+	}
+}
+
+func (tr *timerRegistry) remove(id uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	delete(tr.timers, id)
+}
+
+func (tr *timerRegistry) stopAll() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, t := range tr.timers {
+		t.Stop()
+	}
+	tr.timers = nil
+}

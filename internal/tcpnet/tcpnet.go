@@ -1,0 +1,362 @@
+// Package tcpnet executes protocol stacks over real TCP sockets: one OS
+// process (or one Peer value) per protocol process, length-prefixed
+// gob-encoded envelopes on persistent connections, automatic redial.
+//
+// Together with internal/simnet (deterministic simulation) and
+// internal/live (in-memory goroutines), this gives the repository the full
+// Neko property the paper's methodology relies on: the same protocol code
+// runs simulated, in-memory, and on a real network.
+//
+// Lifecycle: Listen → wire protocol layers on Node() → Start → Do/traffic →
+// Close.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abcast/internal/stack"
+	"abcast/internal/wire"
+)
+
+// maxFrameBytes bounds a single envelope on the wire (defensive; protocol
+// envelopes are far smaller).
+const maxFrameBytes = 64 << 20
+
+// Option configures a Peer.
+type Option func(*config)
+
+type config struct {
+	seed        int64
+	dialBackoff time.Duration
+	dialTimeout time.Duration
+}
+
+// WithSeed seeds the peer's random source.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithDialBackoff sets the redial interval (default 50ms).
+func WithDialBackoff(d time.Duration) Option { return func(c *config) { c.dialBackoff = d } }
+
+// Peer is one protocol process attached to a TCP group; it implements
+// stack.Context.
+type Peer struct {
+	cfg     config
+	self    stack.ProcessID
+	n       int
+	node    *stack.Node
+	ln      net.Listener
+	inbox   *queue
+	out     []*outbound // index 0 unused; nil at self
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+	crashed atomic.Bool
+	started atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	timers timerRegistry
+}
+
+var _ stack.Context = (*Peer)(nil)
+
+// Listen creates process self of an n-process group, listening on addr
+// (e.g. "127.0.0.1:0"). Wire protocol layers on Node() before calling
+// Start.
+func Listen(self stack.ProcessID, n int, addr string, opts ...Option) (*Peer, error) {
+	if self < 1 || int(self) > n {
+		return nil, fmt.Errorf("tcpnet: process id %d out of range 1..%d", self, n)
+	}
+	cfg := config{seed: 1, dialBackoff: 50 * time.Millisecond, dialTimeout: 2 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	wire.Register()
+	p := &Peer{
+		cfg:   cfg,
+		self:  self,
+		n:     n,
+		ln:    ln,
+		inbox: newQueue(),
+		out:   make([]*outbound, n+1),
+		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(cfg.seed + int64(self)*31337)),
+	}
+	p.node = stack.NewNode(p)
+	return p, nil
+}
+
+// Addr returns the actual listening address (useful with ":0").
+func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// Node returns the protocol node for wiring layers (before Start).
+func (p *Peer) Node() *stack.Node { return p.node }
+
+// Start connects to the group and begins processing events. addrs maps
+// every process id (including self, which is ignored) to its address.
+func (p *Peer) Start(addrs map[stack.ProcessID]string) error {
+	for q := stack.ProcessID(1); q <= stack.ProcessID(p.n); q++ {
+		if q == p.self {
+			continue
+		}
+		addr, ok := addrs[q]
+		if !ok {
+			return fmt.Errorf("tcpnet: no address for process %d", q)
+		}
+		p.out[q] = newOutbound(p, addr)
+	}
+	p.started.Store(true)
+	p.wg.Add(2)
+	go p.acceptLoop()
+	go p.eventLoop()
+	return nil
+}
+
+// Do runs fn on the peer's event loop.
+func (p *Peer) Do(fn func()) { p.inbox.put(fn) }
+
+// Crash makes the peer stop processing and sending without closing sockets
+// abruptly ordered — used by fault-injection tests.
+func (p *Peer) Crash() { p.crashed.Store(true) }
+
+// Close shuts the peer down and waits for its goroutines.
+func (p *Peer) Close() error {
+	var err error
+	p.stopped.Do(func() {
+		close(p.stop)
+		err = p.ln.Close()
+		p.inbox.close()
+		for _, o := range p.out {
+			if o != nil {
+				o.close()
+			}
+		}
+		p.timers.stopAll()
+	})
+	p.wg.Wait()
+	return err
+}
+
+// eventLoop serializes all protocol events of this process.
+func (p *Peer) eventLoop() {
+	defer p.wg.Done()
+	for {
+		fn, ok := p.inbox.get(p.stop)
+		if !ok {
+			return
+		}
+		if !p.crashed.Load() {
+			fn()
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections from any peer.
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the event loop.
+func (p *Peer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-p.stop
+		conn.Close()
+	}()
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		from, env, err := wire.DecodeEnvelope(data)
+		if err != nil {
+			return // corrupted stream: drop the connection
+		}
+		p.inbox.put(func() { p.node.Dispatch(from, env) })
+	}
+}
+
+// ID implements stack.Context.
+func (p *Peer) ID() stack.ProcessID { return p.self }
+
+// N implements stack.Context.
+func (p *Peer) N() int { return p.n }
+
+// Now implements stack.Context.
+func (p *Peer) Now() time.Time { return time.Now() }
+
+// Rand implements stack.Context.
+func (p *Peer) Rand() *rand.Rand { return p.rng }
+
+// Crashed implements stack.Context.
+func (p *Peer) Crashed() bool { return p.crashed.Load() }
+
+// Work implements stack.Context (real computation is real on this runtime).
+func (p *Peer) Work(time.Duration) {}
+
+// Logf implements stack.Context.
+func (p *Peer) Logf(string, ...any) {}
+
+// Send implements stack.Context.
+func (p *Peer) Send(to stack.ProcessID, env stack.Envelope) {
+	if p.crashed.Load() {
+		return
+	}
+	if to == p.self {
+		p.inbox.put(func() { p.node.Dispatch(p.self, env) })
+		return
+	}
+	if o := p.out[to]; o != nil {
+		data, err := wire.EncodeEnvelope(p.self, env)
+		if err != nil {
+			return // unencodable message: programming error upstream
+		}
+		o.send(data)
+	}
+}
+
+// SetTimer implements stack.Context.
+func (p *Peer) SetTimer(d time.Duration, fn func()) (cancel func()) {
+	var cancelled atomic.Bool
+	stop := p.timers.schedule(d, func() {
+		if cancelled.Load() || p.crashed.Load() {
+			return
+		}
+		p.inbox.put(func() {
+			if !cancelled.Load() {
+				fn()
+			}
+		})
+	})
+	return func() {
+		cancelled.Store(true)
+		stop()
+	}
+}
+
+// outbound is a persistent, self-healing connection to one peer with an
+// unbounded send queue (reliable-channel semantics between correct
+// processes: nothing is dropped while the process lives).
+type outbound struct {
+	peer   *Peer
+	addr   string
+	queue  *queue
+	closed chan struct{}
+	once   sync.Once
+	conn   net.Conn // owned by writeLoop exclusively
+}
+
+func newOutbound(p *Peer, addr string) *outbound {
+	o := &outbound{peer: p, addr: addr, queue: newQueue(), closed: make(chan struct{})}
+	p.wg.Add(1)
+	go o.writeLoop()
+	return o
+}
+
+func (o *outbound) send(data []byte) {
+	d := data
+	o.queue.put(func() { o.write(d) })
+}
+
+func (o *outbound) close() { o.once.Do(func() { close(o.closed) }) }
+
+// writeLoop drains the queue; write handles (re)dialing.
+func (o *outbound) writeLoop() {
+	defer o.peer.wg.Done()
+	defer func() {
+		if o.conn != nil {
+			o.conn.Close()
+		}
+	}()
+	for {
+		fn, ok := o.queue.get(o.closed)
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+func (o *outbound) write(data []byte) {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-o.closed:
+			return
+		default:
+		}
+		if o.conn == nil {
+			conn, err := net.DialTimeout("tcp", o.addr, o.peer.cfg.dialTimeout)
+			if err != nil {
+				// Peer not up (yet): back off and retry. A crashed peer
+				// keeps us retrying, which is fine — channels only
+				// promise delivery between correct processes.
+				if attempt > 200 {
+					return // give up on persistent failure
+				}
+				select {
+				case <-o.closed:
+					return
+				case <-time.After(o.peer.cfg.dialBackoff):
+				}
+				continue
+			}
+			o.conn = conn
+		}
+		if err := writeFrame(o.conn, data); err != nil {
+			o.conn.Close()
+			o.conn = nil
+			continue // redial and resend
+		}
+		return
+	}
+}
+
+// writeFrame emits a length-prefixed frame.
+func writeFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameBytes {
+		return nil, errors.New("tcpnet: oversized frame")
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

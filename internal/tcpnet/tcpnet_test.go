@@ -1,0 +1,216 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abcast/internal/consensus"
+	"abcast/internal/core"
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/stack"
+	"abcast/internal/wire"
+)
+
+// tcpGroup spins up n peers on loopback with a full atomic broadcast stack.
+type tcpGroup struct {
+	peers   []*Peer // index 0 unused
+	engines []*core.Engine
+	mu      sync.Mutex
+	order   [][]msg.ID
+}
+
+func newTCPGroup(t *testing.T, n int, variant core.Variant) *tcpGroup {
+	t.Helper()
+	g := &tcpGroup{
+		peers:   make([]*Peer, n+1),
+		engines: make([]*core.Engine, n+1),
+		order:   make([][]msg.ID, n+1),
+	}
+	addrs := make(map[stack.ProcessID]string, n)
+	for i := 1; i <= n; i++ {
+		p, err := Listen(stack.ProcessID(i), n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen p%d: %v", i, err)
+		}
+		g.peers[i] = p
+		addrs[stack.ProcessID(i)] = p.Addr()
+	}
+	t.Cleanup(func() {
+		for i := 1; i <= n; i++ {
+			_ = g.peers[i].Close()
+		}
+	})
+	for i := 1; i <= n; i++ {
+		i := i
+		node := g.peers[i].Node()
+		det := fd.NewHeartbeat(node, fd.DefaultConfig())
+		eng, err := core.New(node, core.Config{
+			Variant:  variant,
+			RB:       rbcast.KindEager,
+			Detector: det,
+			Deliver: func(app *msg.App) {
+				g.mu.Lock()
+				g.order[i] = append(g.order[i], app.ID)
+				g.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("core.New p%d: %v", i, err)
+		}
+		g.engines[i] = eng
+	}
+	for i := 1; i <= n; i++ {
+		if err := g.peers[i].Start(addrs); err != nil {
+			t.Fatalf("Start p%d: %v", i, err)
+		}
+	}
+	return g
+}
+
+// broadcast injects an abcast on process p's event loop.
+func (g *tcpGroup) broadcast(p int, payload string) {
+	g.peers[p].Do(func() { g.engines[p].ABroadcast([]byte(payload)) })
+}
+
+// deliveredCount returns how many messages process p has delivered.
+func (g *tcpGroup) deliveredCount(p int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.order[p])
+}
+
+// waitDelivered blocks until every process in procs delivered want
+// messages.
+func (g *tcpGroup) waitDelivered(t *testing.T, procs []int, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, p := range procs {
+			if g.deliveredCount(p) < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, p := range procs {
+		t.Logf("p%d delivered %d/%d", p, g.deliveredCount(p), want)
+	}
+	t.Fatal("timed out waiting for deliveries over TCP")
+}
+
+func TestTCPTotalOrder(t *testing.T) {
+	const n, perProc = 3, 4
+	g := newTCPGroup(t, n, core.VariantIndirectCT)
+	for p := 1; p <= n; p++ {
+		for i := 0; i < perProc; i++ {
+			g.broadcast(p, fmt.Sprintf("m%d-%d", p, i))
+		}
+	}
+	total := n * perProc
+	g.waitDelivered(t, []int{1, 2, 3}, total, 30*time.Second)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p := 2; p <= n; p++ {
+		for i := 0; i < total; i++ {
+			if g.order[1][i] != g.order[p][i] {
+				t.Fatalf("total order violated over TCP at %d: %v vs %v",
+					i, g.order[1][i], g.order[p][i])
+			}
+		}
+	}
+}
+
+func TestTCPCrashTolerance(t *testing.T) {
+	const n = 3
+	g := newTCPGroup(t, n, core.VariantIndirectCT)
+	g.broadcast(1, "before")
+	g.waitDelivered(t, []int{1, 2, 3}, 1, 20*time.Second)
+	// Hard-crash p2 (stops processing and sending).
+	g.peers[2].Crash()
+	g.broadcast(3, "after")
+	g.waitDelivered(t, []int{1, 3}, 2, 30*time.Second)
+}
+
+func TestTCPConsensusOnMessages(t *testing.T) {
+	// Exercises gob round-tripping of MsgSetValue (payload-carrying
+	// consensus values).
+	const n = 3
+	g := newTCPGroup(t, n, core.VariantConsensusMsgs)
+	g.broadcast(2, "payload-over-tcp")
+	g.waitDelivered(t, []int{1, 2, 3}, 1, 20*time.Second)
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(0, 3, "127.0.0.1:0"); err == nil {
+		t.Error("process id 0 accepted")
+	}
+	if _, err := Listen(4, 3, "127.0.0.1:0"); err == nil {
+		t.Error("out-of-range process id accepted")
+	}
+	if _, err := Listen(1, 3, "256.0.0.1:bogus"); err == nil {
+		t.Error("bogus address accepted")
+	}
+	p, err := Listen(1, 3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Start(map[stack.ProcessID]string{2: "127.0.0.1:1"}); err == nil {
+		t.Error("Start with missing address accepted")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	envs := []stack.Envelope{
+		{Proto: stack.ProtoFD, Msg: fd.HeartbeatMsg{}},
+		{Proto: stack.ProtoRB, Msg: rbcast.DataMsg{App: &msg.App{
+			ID: msg.ID{Sender: 2, Seq: 9}, Payload: []byte("hi")}}},
+		{Proto: stack.ProtoCons, Inst: 7, Msg: consensus.DecideMsg{
+			Est: core.IDSetValue{Set: msg.NewIDSet(
+				msg.ID{Sender: 1, Seq: 1}, msg.ID{Sender: 3, Seq: 4})},
+		}},
+		// ⊥ estimates (nil Value) must survive the wire too.
+		{Proto: stack.ProtoCons, Inst: 8, Msg: consensus.MREchoMsg{R: 2, Bottom: true}},
+	}
+	for i, env := range envs {
+		data, err := wire.EncodeEnvelope(3, env)
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		from, got, err := wire.DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if from != 3 || got.Proto != env.Proto || got.Inst != env.Inst {
+			t.Fatalf("round trip %d: got from=%d %+v", i, from, got)
+		}
+		if got.Msg.WireSize() != env.Msg.WireSize() {
+			t.Fatalf("round trip %d: wire size %d != %d", i, got.Msg.WireSize(), env.Msg.WireSize())
+		}
+	}
+	// Decoded identifier sets must keep their content.
+	data, err := wire.EncodeEnvelope(1, envs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := wire.DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, ok := got.Msg.(consensus.DecideMsg)
+	if !ok {
+		t.Fatalf("decoded type %T", got.Msg)
+	}
+	set := dec.Est.(core.IDSetValue).Set
+	if !set.Contains(msg.ID{Sender: 3, Seq: 4}) || set.Len() != 2 {
+		t.Fatalf("id set mangled: %v", set)
+	}
+}

@@ -1,0 +1,70 @@
+// Package wire registers every protocol message type with encoding/gob so
+// envelopes can cross a real network (the TCP transport). It is the single
+// place that knows the full set of wire types; adding a protocol layer with
+// new message types means adding them here.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"abcast/internal/consensus"
+	"abcast/internal/core"
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/stack"
+)
+
+var registerOnce sync.Once
+
+// Register registers all message and value types carried inside
+// stack.Envelope. Safe to call multiple times.
+func Register() {
+	registerOnce.Do(func() {
+		// Failure detector.
+		gob.Register(fd.HeartbeatMsg{})
+		// Reliable broadcast (all variants).
+		gob.Register(rbcast.DataMsg{})
+		gob.Register(rbcast.EchoMsg{})
+		// Consensus (CT and MR, original and indirect).
+		gob.Register(consensus.CTEstimateMsg{})
+		gob.Register(consensus.CTProposalMsg{})
+		gob.Register(consensus.CTAckMsg{})
+		gob.Register(consensus.MREchoMsg{})
+		gob.Register(consensus.DecideMsg{})
+		// Consensus values.
+		gob.Register(core.IDSetValue{})
+		gob.Register(core.MsgSetValue{})
+		// Application payloads.
+		gob.Register(&msg.App{})
+	})
+}
+
+// EncodeEnvelope serializes an envelope (plus its sender) to bytes.
+func EncodeEnvelope(from stack.ProcessID, env stack.Envelope) ([]byte, error) {
+	Register()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(frame{From: from, Env: env}); err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope is the inverse of EncodeEnvelope.
+func DecodeEnvelope(data []byte) (stack.ProcessID, stack.Envelope, error) {
+	Register()
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return 0, stack.Envelope{}, fmt.Errorf("decode envelope: %w", err)
+	}
+	return f.From, f.Env, nil
+}
+
+// frame is the on-the-wire unit.
+type frame struct {
+	From stack.ProcessID
+	Env  stack.Envelope
+}

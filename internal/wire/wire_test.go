@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"testing"
+
+	"abcast/internal/consensus"
+	"abcast/internal/core"
+	"abcast/internal/fd"
+	"abcast/internal/msg"
+	"abcast/internal/rbcast"
+	"abcast/internal/stack"
+)
+
+// all wire message kinds, one instance each.
+func sampleEnvelopes() []stack.Envelope {
+	app := &msg.App{ID: msg.ID{Sender: 2, Seq: 5}, Payload: []byte("payload")}
+	idv := core.IDSetValue{Set: msg.NewIDSet(
+		msg.ID{Sender: 1, Seq: 1}, msg.ID{Sender: 2, Seq: 2})}
+	msgv := core.NewMsgSetValue([]*msg.App{app})
+	return []stack.Envelope{
+		{Proto: stack.ProtoFD, Msg: fd.HeartbeatMsg{}},
+		{Proto: stack.ProtoRB, Msg: rbcast.DataMsg{App: app}},
+		{Proto: stack.ProtoURB, Msg: rbcast.EchoMsg{App: app}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.CTEstimateMsg{R: 2, TS: 1, Est: idv}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.CTProposalMsg{R: 2, Est: idv}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.CTAckMsg{R: 2, Nack: true}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.MREchoMsg{R: 1, Est: idv}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.MREchoMsg{R: 1, Bottom: true}},
+		{Proto: stack.ProtoCons, Inst: 3, Msg: consensus.DecideMsg{Est: msgv}},
+	}
+}
+
+func TestEveryWireTypeRoundTrips(t *testing.T) {
+	for i, env := range sampleEnvelopes() {
+		data, err := EncodeEnvelope(7, env)
+		if err != nil {
+			t.Fatalf("encode %d (%T): %v", i, env.Msg, err)
+		}
+		from, got, err := DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("decode %d (%T): %v", i, env.Msg, err)
+		}
+		if from != 7 {
+			t.Fatalf("sender mangled: %d", from)
+		}
+		if got.Proto != env.Proto || got.Inst != env.Inst {
+			t.Fatalf("header mangled: %+v vs %+v", got, env)
+		}
+		if got.Msg.WireSize() != env.Msg.WireSize() {
+			t.Fatalf("%T: wire size %d != %d", env.Msg, got.Msg.WireSize(), env.Msg.WireSize())
+		}
+	}
+}
+
+func TestMsgSetValueSurvivesWire(t *testing.T) {
+	app := &msg.App{ID: msg.ID{Sender: 3, Seq: 8}, Payload: []byte("abcdef")}
+	env := stack.Envelope{
+		Proto: stack.ProtoCons,
+		Msg:   consensus.DecideMsg{Est: core.NewMsgSetValue([]*msg.App{app})},
+	}
+	data, err := EncodeEnvelope(1, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := got.Msg.(consensus.DecideMsg).Est.(core.MsgSetValue)
+	if len(dec.Msgs) != 1 || string(dec.Msgs[0].Payload) != "abcdef" {
+		t.Fatalf("message set mangled: %+v", dec)
+	}
+	if dec.Msgs[0].ID != app.ID {
+		t.Fatalf("id mangled: %v", dec.Msgs[0].ID)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, _, err := DecodeEnvelope([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded successfully")
+	}
+	if _, _, err := DecodeEnvelope(nil); err == nil {
+		t.Fatal("empty input decoded successfully")
+	}
+}
+
+func TestValueKeysSurviveWire(t *testing.T) {
+	// MR compares estimates by Key; a round trip must preserve it.
+	idv := core.IDSetValue{Set: msg.NewIDSet(
+		msg.ID{Sender: 9, Seq: 1}, msg.ID{Sender: 1, Seq: 9})}
+	env := stack.Envelope{Proto: stack.ProtoCons, Msg: consensus.MREchoMsg{R: 1, Est: idv}}
+	data, err := EncodeEnvelope(2, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := got.Msg.(consensus.MREchoMsg).Est.(core.IDSetValue)
+	if dec.Key() != idv.Key() {
+		t.Fatal("value key changed across the wire")
+	}
+}
