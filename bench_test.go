@@ -223,6 +223,40 @@ func BenchmarkAblationMaxBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPipeline measures the pipeline window (figure p1's knob)
+// at the ablation's network point: with per-instance work capped, delivered
+// throughput should rise with W; the reported metric is msg/s delivered.
+func BenchmarkAblationPipeline(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				e := bench.Experiment{
+					Name:       "pipeline",
+					N:          3,
+					Params:     bench.PipelineParams(),
+					Variant:    core.VariantIndirectCT,
+					RB:         rbcast.KindEager,
+					Throughput: 3000,
+					Payload:    1,
+					Messages:   1000,
+					Warmup:     100,
+					Seed:       int64(i + 1),
+					MaxBatch:   4,
+					Pipeline:   w,
+					MaxVirtual: time.Second,
+				}
+				r, err := bench.Run(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Rate, "msg/s-delivered")
+		})
+	}
+}
+
 // BenchmarkClusterLive measures the live goroutine runtime end to end (not
 // a paper figure; a sanity benchmark for the public API).
 func BenchmarkClusterLive(b *testing.B) {

@@ -102,6 +102,17 @@ type Options struct {
 	Jitter time.Duration
 	// Heartbeat overrides the failure-detector configuration.
 	Heartbeat *fd.Config
+	// Pipeline is the consensus pipeline width W: the number of ordering
+	// instances each process may run concurrently (default 1, the paper's
+	// serial Algorithm 1). Larger windows raise the delivered-throughput
+	// ceiling when MaxBatch bounds per-instance work, at the price of more
+	// concurrent protocol state; decisions are always consumed in serial
+	// order, so delivery order and crash safety are unaffected.
+	Pipeline int
+	// MaxBatch caps the identifiers ordered per consensus instance
+	// (0 = unlimited). See core.Config.MaxBatch; mainly useful together
+	// with Pipeline, which multiplies the resulting throughput ceiling.
+	MaxBatch int
 	// Seed makes jitter and protocol tie-breaking deterministic.
 	Seed int64
 	// OnDeliver, if set, is called for every delivery, on the delivering
@@ -186,6 +197,8 @@ func New(n int, opts Options) (*Cluster, error) {
 				Variant:  variant,
 				RB:       rbKind,
 				Detector: c.dets[i],
+				Pipeline: opts.Pipeline,
+				MaxBatch: opts.MaxBatch,
 				Deliver: func(app *msg.App) {
 					d := Delivery{
 						Sender:  int(app.ID.Sender),
@@ -219,10 +232,17 @@ func New(n int, opts Options) (*Cluster, error) {
 func (c *Cluster) N() int { return c.n }
 
 // Broadcast atomically broadcasts payload from process p. The payload is
-// copied, so the caller may reuse the slice.
+// copied, so the caller may reuse the slice. Broadcasting from a crashed
+// process returns an error: a crashed process handles no further events, so
+// the broadcast would otherwise be silently discarded. (A crash racing the
+// call can still swallow the broadcast after Broadcast returns — exactly as
+// if the process had crashed a moment later.)
 func (c *Cluster) Broadcast(p int, payload []byte) error {
 	if p < 1 || p > c.n {
 		return fmt.Errorf("abcast: process %d out of range 1..%d", p, c.n)
+	}
+	if c.net.Proc(stack.ProcessID(p)).Crashed() {
+		return fmt.Errorf("abcast: process %d has crashed", p)
 	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
@@ -254,9 +274,19 @@ type Stats struct {
 }
 
 // Stats returns process p's counters, or ok=false if p is out of range or
-// the snapshot could not be taken within timeout (e.g. p crashed).
+// the snapshot could not be taken within timeout.
+//
+// The snapshot runs as a closure on p's event loop. A crashed process drops
+// every enqueued closure, so the snapshot never executes and the call would
+// block; known-crashed processes therefore fail fast, and the timeout is
+// the backstop for a crash that lands after the check (or for an event loop
+// too backlogged to answer in time). On timeout the closure stays queued
+// and may still run later; its result is discarded.
 func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 	if p < 1 || p > c.n {
+		return Stats{}, false
+	}
+	if c.net.Proc(stack.ProcessID(p)).Crashed() {
 		return Stats{}, false
 	}
 	ch := make(chan Stats, 1)

@@ -214,6 +214,81 @@ func TestClusterStats(t *testing.T) {
 	}
 }
 
+// TestBroadcastOnCrashedProcess is the regression test for the silent-drop
+// bug: Broadcast on a crashed process used to enqueue a closure that never
+// ran and report success; it must fail instead. Stats likewise must fail
+// fast rather than waiting out its timeout.
+func TestBroadcastOnCrashedProcess(t *testing.T) {
+	c, err := New(3, Options{Stack: IndirectCT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Broadcast(2, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 3; p++ {
+		collect(t, c, p, 1)
+	}
+	c.Crash(2)
+	if err := c.Broadcast(2, []byte("lost")); err == nil {
+		t.Fatal("Broadcast from a crashed process reported success")
+	}
+	start := time.Now()
+	if _, ok := c.Stats(2, 10*time.Second); ok {
+		t.Fatal("Stats of a crashed process succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Stats of a crashed process waited for the timeout instead of failing fast")
+	}
+	// The survivors are unaffected.
+	if err := c.Broadcast(1, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3} {
+		if d, ok := c.Next(p, 15*time.Second); !ok || string(d.Payload) != "post" {
+			t.Fatalf("p%d missing post-crash delivery", p)
+		}
+	}
+}
+
+// TestClusterPipelinedTotalOrder runs the public API with the pipeline knob
+// on: order and payload integrity must be as with the serial default.
+func TestClusterPipelinedTotalOrder(t *testing.T) {
+	c, err := New(3, Options{
+		Stack:    IndirectCT,
+		Pipeline: 4,
+		MaxBatch: 2,
+		Latency:  100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perProc = 8
+	for p := 1; p <= 3; p++ {
+		for i := 0; i < perProc; i++ {
+			if err := c.Broadcast(p, []byte(fmt.Sprintf("m%d-%d", p, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := 3 * perProc
+	seqs := make([][]Delivery, 4)
+	for p := 1; p <= 3; p++ {
+		seqs[p] = collect(t, c, p, total)
+	}
+	for p := 2; p <= 3; p++ {
+		for i := range seqs[1] {
+			a, b := seqs[1][i], seqs[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("pipelined order diverges at %d: p1=%v:%d p%d=%v:%d",
+					i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+			}
+		}
+	}
+}
+
 func TestStackStrings(t *testing.T) {
 	for _, s := range append(stacks(), FaultyConsensusOnIDs) {
 		if s.String() == "" || s.String()[0] == 'S' {

@@ -7,15 +7,23 @@
 //	abench -fig 3a            # regenerate one figure
 //	abench -fig all           # regenerate everything (slow)
 //	abench -fig 1b -scale 0.2 # quick low-resolution run
+//	abench -fig p1 -json      # machine-readable results on stdout
 //
 // Output is one table per figure: rows are x-axis values, columns the mean
-// atomic broadcast latency of each stack. A '*' marks saturated points
-// where some messages were still undelivered at the measurement horizon.
+// atomic broadcast latency of each stack (delivered msg/s for
+// throughput-metric figures such as the pipeline ablation p1). A '*' marks
+// saturated points where some messages were still undelivered at the
+// measurement horizon.
+//
+// With -json, the same sweep is emitted instead as an indented JSON array
+// (one object per figure, every Result counter included), suitable for
+// archiving as BENCH_<rev>.json and diffing across revisions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,26 +31,27 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "abench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("abench", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 3b, 7a) or 'all'")
-		scale = fs.Float64("scale", 1.0, "workload scale in (0,1]: smaller = faster, noisier")
-		seed  = fs.Int64("seed", 1, "deterministic simulation seed")
-		list  = fs.Bool("list", false, "list available figures")
+		fig     = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 3b, 7a) or 'all'")
+		scale   = fs.Float64("scale", 1.0, "workload scale in (0,1]: smaller = faster, noisier")
+		seed    = fs.Int64("seed", 1, "deterministic simulation seed")
+		list    = fs.Bool("list", false, "list available figures")
+		jsonOut = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, id := range bench.FigureIDs() {
-			fmt.Printf("%-4s %s\n", id, bench.Figures()[id].Title)
+			fmt.Fprintf(out, "%-4s %s\n", id, bench.Figures()[id].Title)
 		}
 		return nil
 	}
@@ -54,8 +63,11 @@ func run(args []string) error {
 	if strings.EqualFold(*fig, "all") {
 		ids = bench.FigureIDs()
 	}
+	if *jsonOut {
+		return bench.RunJSON(out, ids, *scale, *seed)
+	}
 	for _, id := range ids {
-		if err := bench.RunAndPrint(os.Stdout, id, *scale, *seed); err != nil {
+		if err := bench.RunAndPrint(out, id, *scale, *seed); err != nil {
 			return err
 		}
 	}

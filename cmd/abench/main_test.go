@@ -1,34 +1,88 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "p1") {
+		t.Fatalf("figure list missing the pipeline ablation:\n%s", sb.String())
 	}
 }
 
 func TestRunMissingFig(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(io.Discard, []string{}); err == nil {
 		t.Fatal("missing -fig accepted")
 	}
 }
 
 func TestRunUnknownFig(t *testing.T) {
-	if err := run([]string{"-fig", "99z"}); err == nil {
+	if err := run(io.Discard, []string{"-fig", "99z"}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run(io.Discard, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunTinyFigure(t *testing.T) {
 	// A minuscule scale keeps this a smoke test rather than a benchmark.
-	if err := run([]string{"-fig", "3a", "-scale", "0.02", "-seed", "2"}); err != nil {
+	if err := run(io.Discard, []string{"-fig", "3a", "-scale", "0.02", "-seed", "2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutputParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "3a", "-scale", "0.02", "-seed", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var figs []struct {
+		ID     string `json:"id"`
+		Metric string `json:"metric"`
+		Series []struct {
+			Label  string `json:"label"`
+			Points []struct {
+				X         float64 `json:"x"`
+				MeanMs    float64 `json:"mean_ms"`
+				Delivered int     `json:"delivered"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &figs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(figs) != 1 || figs[0].ID != "3a" || figs[0].Metric != "latency" {
+		t.Fatalf("unexpected JSON shape: %+v", figs)
+	}
+	if len(figs[0].Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(figs[0].Series))
+	}
+	for _, s := range figs[0].Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q has no points", s.Label)
+		}
+		for _, p := range s.Points {
+			if p.Delivered == 0 && p.MeanMs == 0 {
+				t.Fatalf("series %q point x=%v carries no data", s.Label, p.X)
+			}
+		}
+	}
+}
+
+func TestRunJSONUnknownFig(t *testing.T) {
+	if err := run(io.Discard, []string{"-fig", "99z", "-json"}); err == nil {
+		t.Fatal("unknown figure accepted in -json mode")
 	}
 }

@@ -21,6 +21,16 @@
 //	c.Broadcast(1, []byte("hello"))
 //	d, ok := c.Next(2, time.Second) // same order at every process
 //
+// Beyond the paper's serial ordering loop, Options.Pipeline runs up to W
+// consensus instances concurrently (decisions are still consumed in serial
+// order, so delivery order and crash safety are unchanged). Pipelining
+// matters when Options.MaxBatch caps the identifiers ordered per instance:
+// the serial engine's throughput is then bounded by MaxBatch divided by the
+// consensus round-trip, and W concurrent instances multiply that ceiling —
+// with unbounded batching (the paper's Algorithm 1), load is absorbed into
+// ever larger batches instead and W buys little. The trade-off is
+// quantified by the `abench -fig p1` ablation.
+//
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
 // reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1

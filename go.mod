@@ -1,0 +1,3 @@
+module abcast
+
+go 1.24

@@ -44,6 +44,10 @@ type Experiment struct {
 	// see core.Config.MaxBatch.
 	MaxBatch int
 
+	// Pipeline is the consensus pipeline width W (0 or 1 = the paper's
+	// serial Algorithm 1); see core.Config.Pipeline.
+	Pipeline int
+
 	// MaxVirtual caps the simulated time after the last send; messages
 	// undelivered by then (saturation) still count into the mean with
 	// the cap as a floor, so saturated points read as "very slow" rather
@@ -57,6 +61,7 @@ type Result struct {
 	Latency     stats.Summary // milliseconds
 	Delivered   int           // measured messages fully delivered everywhere
 	Undelivered int           // measured messages missing somewhere at the horizon
+	Rate        float64       // measured messages fully delivered everywhere, per virtual second
 	MsgsSent    int64
 	BytesSent   int64
 	Virtual     time.Duration // simulated duration
@@ -92,6 +97,7 @@ func Run(e Experiment) (Result, error) {
 			Detector:     det,
 			RcvCheckCost: e.Params.RcvCheckPerID,
 			MaxBatch:     e.MaxBatch,
+			Pipeline:     e.Pipeline,
 			Deliver: func(app *msg.App) {
 				deliveredAt[i][app.ID] = virt(w)
 			},
@@ -171,11 +177,21 @@ func Run(e Experiment) (Result, error) {
 		}
 	}
 
+	rate := 0.0
+	if end > 0 {
+		// Delivered throughput over the whole run. Under saturation the
+		// run lasts until the horizon for every configuration, so this is
+		// the discriminating metric: configurations with a higher ordering
+		// ceiling deliver more of the measured messages in the same
+		// virtual time.
+		rate = float64(delivered) / end.Seconds()
+	}
 	return Result{
 		Experiment:  e,
 		Latency:     lat.Summarize(),
 		Delivered:   delivered,
 		Undelivered: undelivered,
+		Rate:        rate,
 		MsgsSent:    w.MsgsSent(),
 		BytesSent:   w.BytesSent(),
 		Virtual:     end,

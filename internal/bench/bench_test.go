@@ -120,7 +120,7 @@ func TestFiguresComplete(t *testing.T) {
 		"3a", "3b",
 		"4a", "4b", "4c", "4d",
 		"5a", "5b", "5c",
-		"s1",
+		"s1", "p1",
 		"6a", "6b", "6c",
 		"7a", "7b",
 	}

@@ -17,7 +17,26 @@ type StackSpec struct {
 	Label   string
 	Variant core.Variant
 	RB      rbcast.Kind
+	// MaxBatch caps identifiers per consensus instance for ablation
+	// curves (zero — unlimited — for the paper's figures). The pipeline
+	// window is not a curve property: the p1 ablation sweeps it on the x
+	// axis instead.
+	MaxBatch int
 }
+
+// Metric selects what a figure's cells report.
+type Metric int
+
+// Available metrics.
+const (
+	// MetricLatency is the paper's metric: mean abroadcast-to-adeliver
+	// latency in milliseconds.
+	MetricLatency Metric = iota
+	// MetricRate is delivered throughput in messages per virtual second —
+	// the metric of the pipeline ablation, where the interesting quantity
+	// is the ordering ceiling rather than per-message latency.
+	MetricRate
+)
 
 // FigureSpec declares how to regenerate one of the paper's figures: an x
 // axis, a set of stacks (curves), and a builder mapping (stack, x) to an
@@ -26,6 +45,7 @@ type FigureSpec struct {
 	ID     string
 	Title  string
 	XLabel string
+	Metric Metric // what the cells report (default MetricLatency)
 	Xs     []float64
 	Stacks []StackSpec
 	Build  func(s StackSpec, x float64, scale float64, seed int64) Experiment
@@ -82,7 +102,12 @@ func (f Figure) Print(w io.Writer) {
 			pts := f.Series[l]
 			if i < len(pts) {
 				r := pts[i].Result
-				cell := fmt.Sprintf("%.3f ms", r.Latency.Mean)
+				var cell string
+				if f.Spec.Metric == MetricRate {
+					cell = fmt.Sprintf("%.0f msg/s", r.Rate)
+				} else {
+					cell = fmt.Sprintf("%.3f ms", r.Latency.Mean)
+				}
 				if r.Undelivered > 0 {
 					cell += "*" // saturated: some messages missed the horizon
 				}
@@ -92,6 +117,18 @@ func (f Figure) Print(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
+}
+
+// PipelineParams is the network point of the pipeline ablation (figure p1):
+// Setup 2 hosts on 1 ms links — a metro/cross-datacenter propagation delay
+// instead of the paper's LAN. On a LAN a consensus round costs about as
+// much CPU as wire time, so the serial engine is CPU-limited and pipelining
+// has nothing to hide; with millisecond links the serial engine idles
+// between rounds, which is exactly the gap W concurrent instances fill.
+func PipelineParams() netmodel.Params {
+	p := netmodel.Setup2()
+	p.Latency = time.Millisecond
+	return p
 }
 
 // seq builds an inclusive numeric range.
@@ -265,6 +302,41 @@ func Figures() map[string]FigureSpec {
 				Warmup:     warmup,
 				Seed:       seed,
 				MaxVirtual: 30 * time.Second,
+			}
+		},
+	})
+	// Extension: the pipeline ablation. Delivered throughput as a function
+	// of the pipeline width W, at an offered load that saturates the serial
+	// engine when MaxBatch bounds per-instance work. The capped curve shows
+	// the point of pipelining — the ceiling scales with W — while the
+	// unbounded curve is the control: Algorithm 1's whole-set batching
+	// already absorbs load into bigger batches, so W buys little.
+	figs = append(figs, FigureSpec{
+		ID:     "p1",
+		Title:  "EXTENSION: delivered throughput vs pipeline width W, n=3, offered 3000 msg/s, 1 B, Setup 2 @ 1 ms links, IndirectCT",
+		XLabel: "pipeline width [W]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2, 4, 8},
+		Stacks: []StackSpec{
+			{Label: "Indirect, MaxBatch=4", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4},
+			{Label: "Indirect, unbounded", Variant: core.VariantIndirectCT, RB: rbcast.KindEager},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(3000, scale)
+			return Experiment{
+				Name:       fmt.Sprintf("%s W=%.0f", s.Label, x),
+				N:          3,
+				Params:     PipelineParams(),
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Throughput: 3000,
+				Payload:    1,
+				Messages:   measured,
+				Warmup:     warmup,
+				Seed:       seed,
+				MaxBatch:   s.MaxBatch,
+				Pipeline:   int(x),
+				MaxVirtual: 2 * time.Second,
 			}
 		},
 	})

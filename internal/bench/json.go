@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The JSON output is the machine-readable face of the harness: one object
+// per figure, one series per stack, one point per x value, every counter of
+// the Result included. It is what cmd/abench -json emits, so successive
+// runs can be archived (BENCH_<rev>.json) and diffed across PRs.
+
+// JSONPoint is one measurement in machine-readable form.
+type JSONPoint struct {
+	X             float64 `json:"x"`
+	MeanMs        float64 `json:"mean_ms"`
+	MedianMs      float64 `json:"median_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	MinMs         float64 `json:"min_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	StdDevMs      float64 `json:"stddev_ms"`
+	Samples       int     `json:"samples"`
+	Delivered     int     `json:"delivered"`
+	Undelivered   int     `json:"undelivered"`
+	RateMsgPerSec float64 `json:"rate_msg_per_sec"`
+	MsgsSent      int64   `json:"msgs_sent"`
+	BytesSent     int64   `json:"bytes_sent"`
+	VirtualMs     float64 `json:"virtual_ms"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
+// JSONSeries is one curve.
+type JSONSeries struct {
+	Label  string      `json:"label"`
+	Points []JSONPoint `json:"points"`
+}
+
+// JSONFigure is one regenerated figure.
+type JSONFigure struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel"`
+	Metric string       `json:"metric"`
+	Scale  float64      `json:"scale"`
+	Seed   int64        `json:"seed"`
+	Series []JSONSeries `json:"series"`
+}
+
+// metricName maps a Metric to its stable JSON identifier.
+func metricName(m Metric) string {
+	if m == MetricRate {
+		return "rate"
+	}
+	return "latency"
+}
+
+// ToJSON converts a regenerated figure, keeping the Stacks declaration
+// order for the series (the Series map iterates randomly).
+func (f Figure) ToJSON(scale float64, seed int64) JSONFigure {
+	out := JSONFigure{
+		ID:     f.Spec.ID,
+		Title:  f.Spec.Title,
+		XLabel: f.Spec.XLabel,
+		Metric: metricName(f.Spec.Metric),
+		Scale:  scale,
+		Seed:   seed,
+	}
+	for _, s := range f.Spec.Stacks {
+		series := JSONSeries{Label: s.Label, Points: []JSONPoint{}}
+		for _, p := range f.Series[s.Label] {
+			r := p.Result
+			series.Points = append(series.Points, JSONPoint{
+				X:             p.X,
+				MeanMs:        r.Latency.Mean,
+				MedianMs:      r.Latency.Median,
+				P95Ms:         r.Latency.P95,
+				MinMs:         r.Latency.Min,
+				MaxMs:         r.Latency.Max,
+				StdDevMs:      r.Latency.StdDev,
+				Samples:       r.Latency.N,
+				Delivered:     r.Delivered,
+				Undelivered:   r.Undelivered,
+				RateMsgPerSec: r.Rate,
+				MsgsSent:      r.MsgsSent,
+				BytesSent:     r.BytesSent,
+				VirtualMs:     float64(r.Virtual) / float64(time.Millisecond),
+				WallMs:        float64(r.Wall) / float64(time.Millisecond),
+			})
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out
+}
+
+// RunJSON regenerates the given figures and writes them as one indented
+// JSON array.
+func RunJSON(w io.Writer, ids []string, scale float64, seed int64) error {
+	figs := Figures()
+	out := make([]JSONFigure, 0, len(ids))
+	for _, id := range ids {
+		spec, ok := figs[id]
+		if !ok {
+			return fmt.Errorf("bench: unknown figure %q", id)
+		}
+		fig, err := spec.Run(scale, seed)
+		if err != nil {
+			return err
+		}
+		out = append(out, fig.ToJSON(scale, seed))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -96,6 +96,13 @@ type Config struct {
 	Detector fd.Detector
 	// Decide is the decision upcall.
 	Decide DecideFn
+	// OnNeed, if set, is invoked when traffic arrives for an instance this
+	// process has not proposed to (and that is neither decided nor pruned).
+	// A pipelined atomic broadcast engine uses it to join instances it has
+	// no identifiers of its own for; without a proposal the process would
+	// never ack, echo, or coordinate, and the instance could stall. The
+	// callback may synchronously call Propose for the same instance.
+	OnNeed func(k uint64)
 }
 
 // Service multiplexes consensus instances over stack.ProtoCons.
@@ -154,6 +161,19 @@ func (s *Service) instance(k uint64) *instance {
 	return inst
 }
 
+// Open broadcasts a participation beacon for instance k to all other
+// processes. Callers (the pipelined atomic broadcast engine) send it when
+// proposing to an instance beyond their lowest undecided serial number, or
+// when proposing an empty batch: in both cases the usual guarantee — that
+// the proposal's identifiers diffuse to everyone and pull them into the
+// instance — does not apply, so the beacon carries the news instead.
+func (s *Service) Open(k uint64) {
+	if k < s.prunedBelow {
+		return
+	}
+	s.proto.BroadcastOthers(k, OpenMsg{})
+}
+
 // PruneBelow releases all state of instances with serial number < k and
 // ignores their future traffic. Callers (the atomic broadcast engine) prune
 // only instances they have locally decided and consumed: by then this
@@ -180,6 +200,17 @@ func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
 	if k < s.prunedBelow {
 		return // stale traffic for a settled, pruned instance
 	}
+	if _, ok := m.(OpenMsg); ok {
+		// Beacons carry no algorithm state: just surface the instance to
+		// the layer above if this process has not joined it yet.
+		if inst, exists := s.insts[k]; exists && (inst.proposed || inst.decided) {
+			return
+		}
+		if s.cfg.OnNeed != nil {
+			s.cfg.OnNeed(k)
+		}
+		return
+	}
 	inst := s.instance(k)
 	// Decisions short-circuit everything, including the pre-propose
 	// buffer: a process can decide without having proposed.
@@ -192,8 +223,13 @@ func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
 	}
 	if !inst.proposed {
 		// Buffer until this process proposes; asynchronous channels make
-		// this indistinguishable from delayed delivery.
+		// this indistinguishable from delayed delivery. The buffered
+		// message doubles as a participation signal: OnNeed may propose
+		// synchronously, in which case propose() replays the buffer.
 		inst.buffer = append(inst.buffer, bufferedMsg{from: from, m: m})
+		if s.cfg.OnNeed != nil {
+			s.cfg.OnNeed(k)
+		}
 		return
 	}
 	inst.dispatch(from, m)

@@ -63,10 +63,24 @@ type DecideMsg struct {
 // WireSize implements stack.Message.
 func (m DecideMsg) WireSize() int { return 2 + valueSize(m.Est) }
 
+// OpenMsg is a participation beacon, not part of the paper's algorithms: a
+// process that proposes to a *pipelined* instance (one beyond its lowest
+// undecided serial number) announces the instance to all others. Without it,
+// an instance whose every proposed identifier got ordered by an earlier
+// instance's decision would generate no traffic that forces the remaining
+// processes to join, and the rotating coordinator could wait forever on a
+// correct process that never proposes. Receivers that have not proposed to
+// the instance react through Config.OnNeed.
+type OpenMsg struct{}
+
+// WireSize implements stack.Message.
+func (m OpenMsg) WireSize() int { return 2 }
+
 var (
 	_ stack.Message = CTEstimateMsg{}
 	_ stack.Message = CTProposalMsg{}
 	_ stack.Message = CTAckMsg{}
 	_ stack.Message = MREchoMsg{}
 	_ stack.Message = DecideMsg{}
+	_ stack.Message = OpenMsg{}
 )

@@ -1,0 +1,182 @@
+package consensus
+
+// Tests of the pipelining support points of the Service: the OnNeed
+// participation callback and the OpenMsg beacon. Both exist for the
+// pipelined atomic broadcast engine, whose liveness argument needs every
+// correct process to eventually join every live instance — including
+// instances it holds no identifiers for.
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/fd"
+	"abcast/internal/netmodel"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+// needHarness wires n services whose OnNeed callbacks record the instances
+// they were asked to join.
+type needHarness struct {
+	*harness
+	needs []map[uint64]int // needs[p][k] = OnNeed invocations
+}
+
+func newNeedHarness(t *testing.T, n int) *needHarness {
+	t.Helper()
+	nh := &needHarness{
+		harness: &harness{
+			w:           simnet.NewWorld(n, netmodel.Setup1(), 42),
+			fds:         make([]*fd.Scripted, n+1),
+			svcs:        make([]*Service, n+1),
+			decisions:   make([]map[uint64]Value, n+1),
+			decideCount: make([]map[uint64]int, n+1),
+		},
+		needs: make([]map[uint64]int, n+1),
+	}
+	for i := 1; i <= n; i++ {
+		i := i
+		nh.fds[i] = fd.NewScripted()
+		nh.decisions[i] = make(map[uint64]Value)
+		nh.decideCount[i] = make(map[uint64]int)
+		nh.needs[i] = make(map[uint64]int)
+		svc, err := NewService(nh.w.Node(stack.ProcessID(i)), Config{
+			Algo:     CT,
+			Detector: nh.fds[i],
+			Decide: func(k uint64, v Value) {
+				nh.decisions[i][k] = v
+				nh.decideCount[i][k]++
+			},
+			OnNeed: func(k uint64) { nh.needs[i][k]++ },
+		})
+		if err != nil {
+			t.Fatalf("NewService(p%d): %v", i, err)
+		}
+		nh.svcs[i] = svc
+	}
+	return nh
+}
+
+// TestOpenBeaconFiresOnNeed: a beacon for an instance nobody proposed to
+// must surface through OnNeed at every receiver, and not at the sender.
+func TestOpenBeaconFiresOnNeed(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	h.w.After(1, time.Millisecond, func() { h.svcs[1].Open(7) })
+	h.w.RunFor(time.Second)
+	if h.needs[1][7] != 0 {
+		t.Fatalf("sender's own OnNeed fired %d times", h.needs[1][7])
+	}
+	for p := 2; p <= 3; p++ {
+		if h.needs[p][7] == 0 {
+			t.Fatalf("p%d never learned of instance 7", p)
+		}
+	}
+	// Beacons alone must not create instance state.
+	for p := 1; p <= 3; p++ {
+		if c := h.svcs[p].InstanceCount(); c != 0 {
+			t.Fatalf("p%d retains %d instances after beacons only", p, c)
+		}
+	}
+}
+
+// TestOpenIgnoredAfterProposeOrDecide: a process that already joined (or
+// settled) the instance must not be re-notified.
+func TestOpenIgnoredAfterProposeOrDecide(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	for i := 1; i <= 3; i++ {
+		h.propose(stack.ProcessID(i), time.Millisecond, 1, tv("v"))
+	}
+	h.w.RunFor(2 * time.Second)
+	h.checkAgreement(t, 1, allProcs(3), nil)
+	before := h.needs[2][1]
+	h.w.After(1, time.Millisecond, func() { h.svcs[1].Open(1) })
+	h.w.RunFor(time.Second)
+	if h.needs[2][1] != before {
+		t.Fatalf("OnNeed re-fired for a settled instance: %d -> %d", before, h.needs[2][1])
+	}
+}
+
+// TestOpenIgnoredWhenPruned: beacons for pruned instances are stale traffic
+// on the receiving side, and a no-op on the sending side.
+func TestOpenIgnoredWhenPruned(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	h.w.After(2, time.Millisecond, func() { h.svcs[2].PruneBelow(10) })
+	h.w.After(1, 2*time.Millisecond, func() { h.svcs[1].Open(5) })
+	h.w.RunFor(time.Second)
+	if h.needs[2][5] != 0 {
+		t.Fatal("OnNeed fired for a pruned instance")
+	}
+	if h.needs[3][5] == 0 {
+		t.Fatal("unpruned p3 missed the beacon (test wiring broken)")
+	}
+	// A sender whose own watermark has passed k must not beacon at all.
+	h.w.After(2, time.Millisecond, func() { h.svcs[2].Open(6) })
+	h.w.RunFor(time.Second)
+	for _, p := range []int{1, 3} {
+		if h.needs[p][6] != 0 {
+			t.Fatalf("Open below the sender's prune watermark still reached p%d", p)
+		}
+	}
+}
+
+// TestBufferedTrafficFiresOnNeed: ordinary algorithm traffic for an
+// instance this process has not proposed to doubles as a participation
+// signal.
+func TestBufferedTrafficFiresOnNeed(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	// Process 2 is the round-1 coordinator (coord(1,3) = 2): its proposal
+	// broadcast reaches the others, which have not proposed.
+	h.propose(2, time.Millisecond, 3, tv("v2"))
+	h.w.RunFor(time.Second)
+	for _, p := range []int{1, 3} {
+		if h.needs[p][3] == 0 {
+			t.Fatalf("p%d: buffered round-1 proposal did not fire OnNeed", p)
+		}
+	}
+}
+
+// TestOnNeedCanProposeSynchronously: proposing from inside the callback is
+// allowed and the buffered message that triggered it is replayed, so the
+// instance decides.
+func TestOnNeedCanProposeSynchronously(t *testing.T) {
+	const n = 3
+	h := &needHarness{
+		harness: &harness{
+			w:           simnet.NewWorld(n, netmodel.Setup1(), 7),
+			fds:         make([]*fd.Scripted, n+1),
+			svcs:        make([]*Service, n+1),
+			decisions:   make([]map[uint64]Value, n+1),
+			decideCount: make([]map[uint64]int, n+1),
+		},
+		needs: make([]map[uint64]int, n+1),
+	}
+	for i := 1; i <= n; i++ {
+		i := i
+		h.fds[i] = fd.NewScripted()
+		h.decisions[i] = make(map[uint64]Value)
+		h.decideCount[i] = make(map[uint64]int)
+		h.needs[i] = make(map[uint64]int)
+		svc, err := NewService(h.w.Node(stack.ProcessID(i)), Config{
+			Algo:     CT,
+			Detector: h.fds[i],
+			Decide: func(k uint64, v Value) {
+				h.decisions[i][k] = v
+				h.decideCount[i][k]++
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Join on demand with this process's own (empty-ish) value.
+		svc.cfg.OnNeed = func(k uint64) {
+			h.needs[i][k]++
+			svc.Propose(k, tv("joined"))
+		}
+		h.svcs[i] = svc
+	}
+	// Only the coordinator proposes of its own accord.
+	h.propose(2, time.Millisecond, 1, tv("v2"))
+	h.w.RunFor(5 * time.Second)
+	h.checkAgreement(t, 1, allProcs(n), []Value{tv("v2"), tv("joined")})
+}

@@ -20,6 +20,13 @@
 //
 // Properties guaranteed by the correct variants: Validity, Uniform
 // integrity, Uniform agreement, Uniform total order.
+//
+// Beyond the paper, Config.Pipeline generalizes Algorithm 1 from one
+// outstanding consensus instance to a window of W concurrent instances with
+// disjoint identifier batches; decisions are still consumed in serial
+// instance order, so every correctness property above is preserved while
+// the throughput ceiling imposed by MaxBatch × instance latency is
+// multiplied by W.
 package core
 
 import (
@@ -90,6 +97,17 @@ type Config struct {
 	// burst for bounded per-instance work — an extension knob, ablated
 	// in bench_test.go.
 	MaxBatch int
+	// Pipeline is the number of consensus instances this process may have
+	// in flight concurrently (0 or 1 = the paper's serial Algorithm 1,
+	// which starts instance k+1 only after consuming instance k's
+	// decision). With W > 1 the engine proposes disjoint identifier
+	// batches to instances kNext..kNext+W-1 concurrently; decisions are
+	// still *consumed* in serial k order, so uniform total order and the
+	// No loss invariant are untouched. Pipelining pays off when MaxBatch
+	// bounds per-instance work: serial throughput is capped at
+	// MaxBatch/instance-latency, and W concurrent instances multiply that
+	// ceiling (see the pipeline ablation in internal/bench).
+	Pipeline int
 	// Deliver receives adelivered messages, in total order.
 	Deliver Deliver
 	// OnDecision, if set, is invoked at the instant this process learns
@@ -116,8 +134,14 @@ type Engine struct {
 	ordered   []msg.ID            // orderedp: ordered, not yet adelivered
 
 	kNext    uint64                     // next consensus instance to consume
-	proposed bool                       // a proposal for kNext is outstanding
+	kPropose uint64                     // next consensus instance to propose to (≥ kNext)
+	window   int                        // pipeline width W (≥ 1)
+	inFlight map[uint64]msg.IDSet       // our outstanding proposals, by instance
+	claimed  map[msg.ID]bool            // ids inside some outstanding proposal
+	needed   map[uint64]bool            // foreign-live instances we have not joined
 	pending  map[uint64]consensus.Value // decisions not yet consumed
+
+	maxInFlight int // high-water mark of len(inFlight), for tests/diagnostics
 }
 
 // New wires an atomic broadcast engine and all its substrate layers into
@@ -132,6 +156,13 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	if cfg.RB == 0 {
 		cfg.RB = rbcast.KindEager
 	}
+	if cfg.Pipeline < 0 {
+		return nil, fmt.Errorf("core: negative pipeline window %d", cfg.Pipeline)
+	}
+	window := cfg.Pipeline
+	if window < 1 {
+		window = 1
+	}
 	e := &Engine{
 		ctx:       node.Context(),
 		cfg:       cfg,
@@ -139,6 +170,11 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		delivered: make(map[msg.ID]bool),
 		inOrdered: make(map[msg.ID]bool),
 		kNext:     1,
+		kPropose:  1,
+		window:    window,
+		inFlight:  make(map[uint64]msg.IDSet),
+		claimed:   make(map[msg.ID]bool),
+		needed:    make(map[uint64]bool),
 		pending:   make(map[uint64]consensus.Value),
 	}
 
@@ -156,6 +192,13 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	ccfg := consensus.Config{
 		Detector: cfg.Detector,
 		Decide:   e.onDecide,
+	}
+	if window > 1 {
+		// Serial operation needs no participation callback: an instance's
+		// identifiers always diffuse to everyone and pull them in. Only a
+		// pipelined engine can face an instance it has nothing to say
+		// about (see maybePropose).
+		ccfg.OnNeed = e.onNeed
 	}
 	switch cfg.Variant {
 	case VariantConsensusMsgs, VariantFaultyIDs, VariantURBIDs:
@@ -220,27 +263,89 @@ func (e *Engine) onRDeliver(app *msg.App) {
 	e.maybePropose()
 }
 
-// maybePropose starts consensus kNext when there are unordered identifiers
-// and no outstanding proposal (Algorithm 1 lines 15-17).
+// maybePropose starts consensus instances while the pipeline window has
+// room. With window 1 this is exactly Algorithm 1 lines 15-17: propose the
+// unordered set to kNext when no proposal is outstanding. With window W > 1
+// the engine proposes *disjoint* batches of unordered identifiers to
+// instances kPropose, kPropose+1, ... until W instances are in flight;
+// identifiers claimed by an outstanding proposal are skipped, and become
+// proposable again when their instance is consumed without ordering them
+// (some other process's batch won the instance — see onDecide).
+//
+// A pipelined proposal cannot rely on the serial liveness argument (its
+// identifiers may all be ordered by an earlier instance's decision before
+// the instance runs, after which diffusion pulls nobody in), so proposing
+// beyond kNext — or proposing an empty batch — broadcasts a participation
+// beacon (consensus.OpenMsg). Conversely, when another process opens an
+// instance this process has no identifiers for, it joins with an empty
+// batch so quorums stay reachable.
 func (e *Engine) maybePropose() {
-	if e.proposed || e.unordered.Empty() {
-		return
-	}
-	e.proposed = true
-	batch := e.unordered.IDs()
-	if e.cfg.MaxBatch > 0 && len(batch) > e.cfg.MaxBatch {
-		batch = batch[:e.cfg.MaxBatch]
-	}
-	switch e.cfg.Variant {
-	case VariantConsensusMsgs:
-		msgs := make([]*msg.App, 0, len(batch))
-		for _, id := range batch {
-			msgs = append(msgs, e.received[id])
+	for len(e.inFlight) < e.window {
+		k := e.kPropose
+		if _, decided := e.pending[k]; decided {
+			// Already decided by others; nothing to contribute.
+			delete(e.needed, k)
+			e.kPropose++
+			continue
 		}
-		e.cons.Propose(e.kNext, NewMsgSetValue(msgs))
-	default:
-		e.cons.Propose(e.kNext, IDSetValue{Set: msg.NewIDSet(batch...)})
+		batch := e.selectBatch()
+		if len(batch) == 0 && !(e.window > 1 && e.needed[k]) {
+			return
+		}
+		delete(e.needed, k)
+		set := msg.NewIDSet(batch...)
+		e.inFlight[k] = set
+		if len(e.inFlight) > e.maxInFlight {
+			e.maxInFlight = len(e.inFlight)
+		}
+		for _, id := range batch {
+			e.claimed[id] = true
+		}
+		e.kPropose = k + 1
+		if e.window > 1 && (k > e.kNext || len(batch) == 0) {
+			e.cons.Open(k)
+		}
+		switch e.cfg.Variant {
+		case VariantConsensusMsgs:
+			msgs := make([]*msg.App, 0, len(batch))
+			for _, id := range batch {
+				msgs = append(msgs, e.received[id])
+			}
+			e.cons.Propose(k, NewMsgSetValue(msgs))
+		default:
+			e.cons.Propose(k, IDSetValue{Set: set})
+		}
 	}
+}
+
+// selectBatch picks the unordered identifiers not claimed by an outstanding
+// proposal, in canonical order, capped at MaxBatch. Disjointness across the
+// in-flight instances keeps the pipeline from ordering an identifier twice
+// through two of this process's own proposals.
+func (e *Engine) selectBatch() []msg.ID {
+	all := e.unordered.IDs()
+	batch := make([]msg.ID, 0, len(all))
+	for _, id := range all {
+		if e.claimed[id] {
+			continue
+		}
+		batch = append(batch, id)
+		if e.cfg.MaxBatch > 0 && len(batch) == e.cfg.MaxBatch {
+			break
+		}
+	}
+	return batch
+}
+
+// onNeed joins a consensus instance some other process is running. Invoked
+// by the consensus service (only when pipelining) on traffic for an
+// instance this process has not proposed to.
+func (e *Engine) onNeed(k uint64) {
+	if k < e.kNext {
+		return // settled locally; stale traffic
+	}
+	e.needed[k] = true
+	e.maybePropose()
 }
 
 // onDecide records the decision of instance k and consumes decisions in
@@ -259,9 +364,23 @@ func (e *Engine) onDecide(k uint64, v consensus.Value) {
 			break
 		}
 		delete(e.pending, e.kNext)
+		if batch, ours := e.inFlight[e.kNext]; ours {
+			// Release our proposal for the consumed instance. Identifiers
+			// the decision did not order (another process's batch won) are
+			// still in unordered and, unclaimed again, get re-proposed to
+			// a later instance by maybePropose below.
+			delete(e.inFlight, e.kNext)
+			for _, id := range batch.IDs() {
+				delete(e.claimed, id)
+			}
+		}
+		delete(e.needed, e.kNext)
 		e.kNext++
-		e.proposed = false
 		e.applyDecision(next)
+	}
+	if e.kPropose < e.kNext {
+		// Instances decided entirely without us; never propose below kNext.
+		e.kPropose = e.kNext
 	}
 	// Consumed instances are settled locally and our decide relay is out:
 	// their consensus state can be released.
@@ -337,16 +456,23 @@ type Stats struct {
 	Unordered int
 	OrderedQ  int
 	Instances uint64
+	// InFlight is the number of this process's currently outstanding
+	// consensus proposals; MaxInFlight is its high-water mark. Serial
+	// operation (Pipeline ≤ 1) never exceeds 1.
+	InFlight    int
+	MaxInFlight int
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Received:  len(e.received),
-		Delivered: len(e.delivered),
-		Unordered: e.unordered.Len(),
-		OrderedQ:  len(e.ordered),
-		Instances: e.kNext - 1,
+		Received:    len(e.received),
+		Delivered:   len(e.delivered),
+		Unordered:   e.unordered.Len(),
+		OrderedQ:    len(e.ordered),
+		Instances:   e.kNext - 1,
+		InFlight:    len(e.inFlight),
+		MaxInFlight: e.maxInFlight,
 	}
 }
 

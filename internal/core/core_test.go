@@ -22,8 +22,9 @@ type cluster struct {
 }
 
 // newCluster builds a cluster with heartbeat failure detectors, so crashes
-// are discovered organically.
-func newCluster(t *testing.T, n int, variant Variant, rb rbcast.Kind, params netmodel.Params, seed int64) *cluster {
+// are discovered organically. Optional mutators adjust each process's
+// Config before construction (e.g. to enable pipelining).
+func newCluster(t *testing.T, n int, variant Variant, rb rbcast.Kind, params netmodel.Params, seed int64, mutate ...func(*Config)) *cluster {
 	t.Helper()
 	c := &cluster{
 		w:         simnet.NewWorld(n, params, seed),
@@ -36,7 +37,7 @@ func newCluster(t *testing.T, n int, variant Variant, rb rbcast.Kind, params net
 		c.payloads[i] = make(map[msg.ID]string)
 		node := c.w.Node(stack.ProcessID(i))
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
-		eng, err := New(node, Config{
+		cfg := Config{
 			Variant:      variant,
 			RB:           rb,
 			Detector:     det,
@@ -45,13 +46,25 @@ func newCluster(t *testing.T, n int, variant Variant, rb rbcast.Kind, params net
 				c.delivered[i] = append(c.delivered[i], app.ID)
 				c.payloads[i][app.ID] = string(app.Payload)
 			},
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		eng, err := New(node, cfg)
 		if err != nil {
 			t.Fatalf("New(p%d): %v", i, err)
 		}
 		c.engines[i] = eng
 	}
 	return c
+}
+
+// pipelined is a Config mutator setting the window and batch cap.
+func pipelined(w, maxBatch int) func(*Config) {
+	return func(cfg *Config) {
+		cfg.Pipeline = w
+		cfg.MaxBatch = maxBatch
+	}
 }
 
 // abcast schedules process p to atomically broadcast payload after d.

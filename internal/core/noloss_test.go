@@ -39,7 +39,7 @@ type nolossHarness struct {
 	f                 int // stability threshold f (tolerated failures)
 }
 
-func newNolossHarness(t *testing.T, n int, variant Variant, seed int64, willCrash map[stack.ProcessID]bool, f int) *nolossHarness {
+func newNolossHarness(t *testing.T, n int, variant Variant, seed int64, willCrash map[stack.ProcessID]bool, f int, mutate ...func(*Config)) *nolossHarness {
 	t.Helper()
 	h := &nolossHarness{
 		w:         simnet.NewWorld(n, netmodel.Setup1(), seed),
@@ -50,7 +50,7 @@ func newNolossHarness(t *testing.T, n int, variant Variant, seed int64, willCras
 	for i := 1; i <= n; i++ {
 		node := h.w.Node(stack.ProcessID(i))
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
-		eng, err := New(node, Config{
+		cfg := Config{
 			Variant:  variant,
 			RB:       rbcast.KindEager,
 			Detector: det,
@@ -58,7 +58,11 @@ func newNolossHarness(t *testing.T, n int, variant Variant, seed int64, willCras
 			OnDecision: func(k uint64, v consensus.Value) {
 				h.checkDecision(k, v)
 			},
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		eng, err := New(node, cfg)
 		if err != nil {
 			t.Fatalf("New(p%d): %v", i, err)
 		}
@@ -126,6 +130,54 @@ func TestNoLossInvariantHolds(t *testing.T) {
 					p := stack.ProcessID(i)
 					for s := 0; s < 6; s++ {
 						at := time.Duration((int(seed)*13+i*7+s*31)%150) * time.Millisecond
+						h.w.After(p, at, func() { h.engines[p].ABroadcast([]byte("x")) })
+					}
+				}
+				h.w.After(1, time.Duration(40+seed*17)*time.Millisecond, func() {
+					h.w.Crash(crashed, simnet.DropInFlight)
+				})
+				h.w.RunFor(20 * time.Second)
+				if len(h.nolossViolations) > 0 {
+					t.Fatalf("No loss violated: %v", h.nolossViolations)
+				}
+				if len(h.stabilityShortage) > 0 {
+					t.Fatalf("v-stability shortage: %v", h.stabilityShortage)
+				}
+			})
+		}
+	}
+}
+
+// TestNoLossInvariantHoldsPipelined re-runs the invariant check with the
+// ordering path pipelined: W concurrent instances with small disjoint
+// batches must not weaken No loss or v-stability — the decision-time
+// holders requirement is per decision, however many instances are in
+// flight.
+func TestNoLossInvariantHoldsPipelined(t *testing.T) {
+	cases := []struct {
+		variant Variant
+		n, f, w int
+	}{
+		{VariantIndirectCT, 3, 1, 2},
+		{VariantIndirectCT, 5, 2, 4},
+		{VariantIndirectMR, 4, 1, 3},
+		{VariantURBIDs, 3, 1, 4},
+	}
+	for _, c := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			name := fmt.Sprintf("%v/n=%d/W=%d/seed=%d", c.variant, c.n, c.w, seed)
+			t.Run(name, func(t *testing.T) {
+				crashed := stack.ProcessID(c.n)
+				h := newNolossHarness(t, c.n, c.variant, seed,
+					map[stack.ProcessID]bool{crashed: true}, c.f,
+					func(cfg *Config) {
+						cfg.Pipeline = c.w
+						cfg.MaxBatch = 2 // keep several instances in flight
+					})
+				for i := 1; i <= c.n; i++ {
+					p := stack.ProcessID(i)
+					for s := 0; s < 8; s++ {
+						at := time.Duration((int(seed)*13+i*7+s*23)%150) * time.Millisecond
 						h.w.After(p, at, func() { h.engines[p].ABroadcast([]byte("x")) })
 					}
 				}

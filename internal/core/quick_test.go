@@ -68,6 +68,63 @@ func TestSafetyPropertiesQuick(t *testing.T) {
 	}
 }
 
+// TestSafetyPropertiesQuickPipelined extends the property sweep with a
+// random pipeline window and batch cap: whatever (W, MaxBatch, seed, crash
+// time) the generator picks, prefix order, integrity and survivor agreement
+// must hold.
+func TestSafetyPropertiesQuickPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulation sweep")
+	}
+	property := func(seed16 uint16, crashAt8, traffic8, w8, batch8 uint8) bool {
+		seed := int64(seed16) + 1
+		w := int(w8)%4 + 1          // W in 1..4
+		maxBatch := int(batch8) % 4 // 0 = unbounded, else 1..3
+		params := netmodel.Setup1()
+		params.Jitter = time.Duration(seed%5) * 20 * time.Microsecond
+		c := newClusterQuick(3, VariantIndirectCT, params, seed, func(cfg *Config) {
+			cfg.Pipeline = w
+			cfg.MaxBatch = maxBatch
+		})
+		msgs := int(traffic8)%12 + 4
+		for s := 0; s < msgs; s++ {
+			p := stack.ProcessID(s%3 + 1)
+			at := time.Duration((int(seed)*31+s*47)%300) * time.Millisecond
+			c.abcastQuick(p, at, fmt.Sprintf("m%d", s))
+		}
+		crashAt := time.Duration(crashAt8) * 2 * time.Millisecond
+		c.w.After(1, crashAt, func() { c.w.Crash(3, simnet.DropInFlight) })
+		c.w.RunFor(15 * time.Second)
+
+		a, b := c.delivered[1], c.delivered[2]
+		short := a
+		if len(b) < len(a) {
+			short = b
+		}
+		for i := range short {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for _, p := range []stack.ProcessID{1, 2} {
+			seen := map[msg.ID]bool{}
+			for _, id := range c.delivered[p] {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
 // quickCluster is a pared-down harness for property tests (no *testing.T in
 // the construction path so it can run under quick.Check).
 type quickCluster struct {
@@ -76,7 +133,7 @@ type quickCluster struct {
 	delivered [][]msg.ID
 }
 
-func newClusterQuick(n int, variant Variant, params netmodel.Params, seed int64) *quickCluster {
+func newClusterQuick(n int, variant Variant, params netmodel.Params, seed int64, mutate ...func(*Config)) *quickCluster {
 	c := &quickCluster{
 		w:         simnet.NewWorld(n, params, seed),
 		engines:   make([]*Engine, n+1),
@@ -86,14 +143,18 @@ func newClusterQuick(n int, variant Variant, params netmodel.Params, seed int64)
 		i := i
 		node := c.w.Node(stack.ProcessID(i))
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
-		eng, err := New(node, Config{
+		cfg := Config{
 			Variant:  variant,
 			RB:       rbcast.KindEager,
 			Detector: det,
 			Deliver: func(app *msg.App) {
 				c.delivered[i] = append(c.delivered[i], app.ID)
 			},
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		eng, err := New(node, cfg)
 		if err != nil {
 			panic(err) // construction is deterministic; a failure is a bug
 		}

@@ -35,6 +35,7 @@ func Register() {
 		gob.Register(consensus.CTAckMsg{})
 		gob.Register(consensus.MREchoMsg{})
 		gob.Register(consensus.DecideMsg{})
+		gob.Register(consensus.OpenMsg{})
 		// Consensus values.
 		gob.Register(core.IDSetValue{})
 		gob.Register(core.MsgSetValue{})

@@ -1,0 +1,158 @@
+package abcast
+
+// Concurrency tests meant to run under the race detector (the CI runs
+// `go test -race ./...`): the deliveryQueue and the public Cluster surface
+// are the two places where caller goroutines meet the per-process event
+// loops.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeliveryQueueConcurrent hammers one deliveryQueue from several
+// producers and consumers, then closes it mid-stream: every item must be
+// consumed at most once, and nobody may hang or race.
+func TestDeliveryQueueConcurrent(t *testing.T) {
+	q := newDeliveryQueue()
+	const producers, perProducer, consumers = 4, 250, 3
+	var consumed int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.put(Delivery{Sender: p + 1, Seq: uint64(i + 1)})
+			}
+		}()
+	}
+	seen := make([]map[uint64]bool, producers+1)
+	var seenMu sync.Mutex
+	for i := 1; i <= producers; i++ {
+		seen[i] = make(map[uint64]bool)
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				d, ok := q.next(500 * time.Millisecond)
+				if !ok {
+					return // closed or drained
+				}
+				seenMu.Lock()
+				if seen[d.Sender][d.Seq] {
+					t.Errorf("delivery %d:%d consumed twice", d.Sender, d.Seq)
+				}
+				seen[d.Sender][d.Seq] = true
+				seenMu.Unlock()
+				atomic.AddInt64(&consumed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Let the consumers drain, then close while they are still polling.
+	for atomic.LoadInt64(&consumed) < producers*perProducer {
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	cwg.Wait()
+	if got := atomic.LoadInt64(&consumed); got != producers*perProducer {
+		t.Fatalf("consumed %d of %d deliveries", got, producers*perProducer)
+	}
+	// put after close must be a quiet no-op.
+	q.put(Delivery{Sender: 1, Seq: 9999})
+	if _, ok := q.next(10 * time.Millisecond); ok {
+		t.Fatal("delivery accepted after close")
+	}
+}
+
+// TestClusterConcurrentUse exercises the full public surface — Broadcast,
+// Next, Stats — from many goroutines against a pipelined live cluster, and
+// finally Close races a blocked Next. Run it under -race.
+func TestClusterConcurrentUse(t *testing.T) {
+	const n, perProc = 3, 20
+	c, err := New(n, Options{
+		Stack:    IndirectCT,
+		Pipeline: 4,
+		MaxBatch: 2,
+		Latency:  50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				if err := c.Broadcast(p, []byte(fmt.Sprintf("m%d-%d", p, i))); err != nil {
+					t.Errorf("Broadcast(p%d): %v", p, err)
+					return
+				}
+			}
+		}()
+	}
+	// A stats poller runs alongside the broadcasters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.Stats(i%n+1, time.Second)
+		}
+	}()
+	// Each process's deliveries are drained by its own consumer; all must
+	// see the same total order.
+	orders := make([][]Delivery, n+1)
+	var cwg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		p := p
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for len(orders[p]) < n*perProc {
+				d, ok := c.Next(p, 20*time.Second)
+				if !ok {
+					t.Errorf("p%d: timed out after %d deliveries", p, len(orders[p]))
+					return
+				}
+				orders[p] = append(orders[p], d)
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for p := 2; p <= n; p++ {
+		if len(orders[p]) != len(orders[1]) {
+			t.Fatalf("p%d delivered %d, p1 delivered %d", p, len(orders[p]), len(orders[1]))
+		}
+		for i := range orders[1] {
+			a, b := orders[1][i], orders[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("order diverges at %d: p1=%d:%d p%d=%d:%d",
+					i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+			}
+		}
+	}
+	// Close must unblock a waiting Next rather than leak it.
+	unblocked := make(chan struct{})
+	go func() {
+		c.Next(1, time.Minute)
+		close(unblocked)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+}
