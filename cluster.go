@@ -9,6 +9,7 @@ import (
 	"abcast/internal/fd"
 	"abcast/internal/live"
 	"abcast/internal/msg"
+	"abcast/internal/netmodel"
 	"abcast/internal/rbcast"
 	"abcast/internal/stack"
 )
@@ -100,6 +101,12 @@ type Options struct {
 	Latency time.Duration
 	// Jitter adds ±jitter to each message's latency.
 	Jitter time.Duration
+	// Topology, when set, replaces the uniform Latency/Jitter with the
+	// per-directed-link latencies of a geo-replicated site layout (e.g.
+	// netmodel.WAN3Sites().Topology assigns processes round-robin to three
+	// sites joined by 40-126 ms asymmetric links). Link bandwidth is not
+	// modelled by the in-memory transport.
+	Topology *netmodel.Topology
 	// Heartbeat overrides the failure-detector configuration.
 	Heartbeat *fd.Config
 	// Pipeline is the consensus pipeline width W: the number of ordering
@@ -171,6 +178,7 @@ func New(n int, opts Options) (*Cluster, error) {
 	net := live.NewNetwork(n,
 		live.WithLatency(opts.Latency),
 		live.WithJitter(opts.Jitter),
+		live.WithTopology(opts.Topology),
 		live.WithSeed(opts.Seed),
 	)
 	c := &Cluster{

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"abcast/internal/netmodel"
 )
 
 func stacks() []Stack {
@@ -293,6 +295,64 @@ func TestStackStrings(t *testing.T) {
 	for _, s := range append(stacks(), FaultyConsensusOnIDs) {
 		if s.String() == "" || s.String()[0] == 'S' {
 			t.Fatalf("missing String for %d", int(s))
+		}
+	}
+}
+
+// TestClusterWANTopology runs the live cluster on the 3-site WAN topology:
+// deliveries must still be totally ordered, and a delivery cannot beat one
+// inter-site crossing of wall-clock time (the topology's slow links are
+// real sleeps on the live runtime).
+func TestClusterWANTopology(t *testing.T) {
+	// Scale the WAN profile down 10x so the test stays fast while keeping
+	// the inter-site asymmetry.
+	topo := netmodel.WAN3Sites().Topology
+	for i := range topo.SiteLink {
+		for j := range topo.SiteLink[i] {
+			topo.SiteLink[i][j].Latency /= 10
+			topo.SiteLink[i][j].Jitter /= 10
+		}
+	}
+	c, err := New(3, Options{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Broadcast(1, []byte("geo")); err != nil {
+		t.Fatal(err)
+	}
+	minCrossing := topo.SiteLink[0][1].Latency // the fastest inter-site link
+	for p := 1; p <= 3; p++ {
+		d, ok := c.Next(p, 30*time.Second)
+		if !ok {
+			t.Fatalf("p%d: no delivery on the WAN topology", p)
+		}
+		if d.Sender != 1 || string(d.Payload) != "geo" {
+			t.Fatalf("p%d delivered %+v", p, d)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < minCrossing {
+		t.Fatalf("WAN delivery completed in %v, below one inter-site crossing %v: topology latencies not applied",
+			elapsed, minCrossing)
+	}
+	// A second round still totally ordered across sites.
+	for p := 1; p <= 3; p++ {
+		if err := c.Broadcast(p, []byte(fmt.Sprintf("r2-%d", p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orders := make([][]Delivery, 4)
+	for p := 1; p <= 3; p++ {
+		orders[p] = collect(t, c, p, 3)
+	}
+	for p := 2; p <= 3; p++ {
+		for i := range orders[1] {
+			a, b := orders[1][i], orders[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("total order violated across WAN sites: p1[%d]=%+v p%d[%d]=%+v",
+					i, a, p, i, b)
+			}
 		}
 	}
 }

@@ -3,21 +3,30 @@
 //
 // Usage:
 //
-//	abench -list              # list available figures
-//	abench -fig 3a            # regenerate one figure
-//	abench -fig all           # regenerate everything (slow)
-//	abench -fig 1b -scale 0.2 # quick low-resolution run
-//	abench -fig p1 -json      # machine-readable results on stdout
+//	abench -list                    # list available figures
+//	abench -fig 3a                  # regenerate one figure
+//	abench -fig p1,g1               # regenerate several figures
+//	abench -fig all                 # regenerate everything (slow)
+//	abench -fig 1b -scale 0.2       # quick low-resolution run
+//	abench -fig p1 -json            # machine-readable results on stdout
+//	abench -fig 7a -topo wan3       # re-run a figure on the 3-site WAN
+//	abench -fig g1 -partition 0.4s:1.1s:3   # cut p3 off for 0.7 s
 //
 // Output is one table per figure: rows are x-axis values, columns the mean
 // atomic broadcast latency of each stack (delivered msg/s for
-// throughput-metric figures such as the pipeline ablation p1). A '*' marks
-// saturated points where some messages were still undelivered at the
-// measurement horizon.
+// throughput-metric figures such as the pipeline ablation p1 or the WAN
+// partition figure g2). A '*' marks saturated points where some messages
+// were still undelivered at the measurement horizon.
 //
 // With -json, the same sweep is emitted instead as an indented JSON array
 // (one object per figure, every Result counter included), suitable for
 // archiving as BENCH_<rev>.json and diffing across revisions.
+//
+// -topo re-runs any figure on a named network model (setup1, setup2,
+// pipeline, wan3) instead of the figure's own; -partition from:until:procs
+// injects a partition episode (delay semantics; append ":drop" for
+// black-hole semantics) cutting the comma-separated process list off
+// between the two virtual instants.
 package main
 
 import (
@@ -25,7 +34,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"abcast/internal/bench"
 )
@@ -40,11 +51,13 @@ func main() {
 func run(out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("abench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "", "figure id to regenerate (e.g. 1a, 3b, 7a) or 'all'")
-		scale   = fs.Float64("scale", 1.0, "workload scale in (0,1]: smaller = faster, noisier")
-		seed    = fs.Int64("seed", 1, "deterministic simulation seed")
-		list    = fs.Bool("list", false, "list available figures")
-		jsonOut = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		fig       = fs.String("fig", "", "figure id(s) to regenerate (e.g. 1a or p1,g1) or 'all'")
+		scale     = fs.Float64("scale", 1.0, "workload scale in (0,1]: smaller = faster, noisier")
+		seed      = fs.Int64("seed", 1, "deterministic simulation seed")
+		list      = fs.Bool("list", false, "list available figures")
+		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
+		topo      = fs.String("topo", "", "network model override: setup1, setup2, pipeline, wan3")
+		partition = fs.String("partition", "", "partition episode override: from:until:p,q[,...][:drop] (e.g. 0.4s:1.1s:3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,17 +72,100 @@ func run(out io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
 	}
-	ids := []string{*fig}
+	override, err := buildOverride(*topo, *partition)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, id := range strings.Split(*fig, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
 	if strings.EqualFold(*fig, "all") {
 		ids = bench.FigureIDs()
 	}
-	if *jsonOut {
-		return bench.RunJSON(out, ids, *scale, *seed)
-	}
+	figs := bench.Figures()
+	specs := make([]bench.FigureSpec, 0, len(ids))
 	for _, id := range ids {
-		if err := bench.RunAndPrint(out, id, *scale, *seed); err != nil {
+		spec, ok := figs[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (use -list)", id)
+		}
+		if override != nil {
+			spec = spec.WithOverride(override)
+		}
+		specs = append(specs, spec)
+	}
+	if *jsonOut {
+		return bench.RunSpecsJSON(out, specs, *scale, *seed)
+	}
+	for _, spec := range specs {
+		if err := bench.RunSpecAndPrint(out, spec, *scale, *seed); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// buildOverride turns the -topo and -partition flags into an experiment
+// post-processor (nil when neither flag is set).
+func buildOverride(topo, partition string) (func(*bench.Experiment), error) {
+	var steps []func(*bench.Experiment)
+	if topo != "" {
+		params, err := bench.NamedParams(topo)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, func(e *bench.Experiment) { e.Params = params })
+	}
+	if partition != "" {
+		from, until, procs, drop, err := parsePartition(partition)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, func(e *bench.Experiment) {
+			e.PartitionFrom = from
+			e.PartitionUntil = until
+			e.PartitionMinority = procs
+			e.PartitionDrop = drop
+		})
+	}
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	return func(e *bench.Experiment) {
+		for _, s := range steps {
+			s(e)
+		}
+	}, nil
+}
+
+// parsePartition parses from:until:p,q[,...][:drop].
+func parsePartition(s string) (from, until time.Duration, procs []int, drop bool, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) == 4 && parts[3] == "drop" {
+		drop = true
+		parts = parts[:3]
+	}
+	if len(parts) != 3 {
+		return 0, 0, nil, false, fmt.Errorf("bad -partition %q, want from:until:procs[:drop]", s)
+	}
+	if from, err = time.ParseDuration(parts[0]); err != nil {
+		return 0, 0, nil, false, fmt.Errorf("bad -partition start: %w", err)
+	}
+	if until, err = time.ParseDuration(parts[1]); err != nil {
+		return 0, 0, nil, false, fmt.Errorf("bad -partition end: %w", err)
+	}
+	if until <= from || from <= 0 {
+		return 0, 0, nil, false, fmt.Errorf("bad -partition window %v..%v, want 0 < from < until", from, until)
+	}
+	for _, f := range strings.Split(parts[2], ",") {
+		p, perr := strconv.Atoi(strings.TrimSpace(f))
+		if perr != nil || p < 1 {
+			return 0, 0, nil, false, fmt.Errorf("bad -partition process %q", f)
+		}
+		procs = append(procs, p)
+	}
+	return from, until, procs, drop, nil
 }

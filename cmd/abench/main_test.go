@@ -86,3 +86,47 @@ func TestRunJSONUnknownFig(t *testing.T) {
 		t.Fatal("unknown figure accepted in -json mode")
 	}
 }
+
+func TestRunCommaSeparatedFigs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "3a,p1", "-scale", "0.02", "-seed", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var figs []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &figs); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(figs) != 2 || figs[0].ID != "3a" || figs[1].ID != "p1" {
+		t.Fatalf("figure list = %+v, want [3a p1]", figs)
+	}
+}
+
+func TestRunTopoOverride(t *testing.T) {
+	// 3a on the wan3 topology: just a smoke test that the override path
+	// builds and runs.
+	if err := run(io.Discard, []string{"-fig", "3a", "-scale", "0.02", "-topo", "wan3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, []string{"-fig", "3a", "-topo", "atlantis"}); err == nil {
+		t.Fatal("unknown -topo accepted")
+	}
+}
+
+func TestRunPartitionOverride(t *testing.T) {
+	if err := run(io.Discard, []string{"-fig", "3a", "-scale", "0.02", "-partition", "100ms:300ms:3"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nope", "100ms:50ms:3", "0s:1s:3", "1s:2s:zero", "1s:2s:3:flood"} {
+		if err := run(io.Discard, []string{"-fig", "3a", "-partition", bad}); err == nil {
+			t.Fatalf("bad -partition %q accepted", bad)
+		}
+	}
+}
+
+func TestRunWANFigureTiny(t *testing.T) {
+	if err := run(io.Discard, []string{"-fig", "g1,g2", "-scale", "0.02", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,30 @@
 // ever larger batches instead and W buys little. The trade-off is
 // quantified by the `abench -fig p1` ablation.
 //
+// # WAN / geo-replication
+//
+// The paper evaluates only two LAN test beds; this reproduction extends the
+// scenario space to geo-replicated deployments. A netmodel.Topology assigns
+// every process to a site and every ordered site pair a directed link
+// (latency, jitter, bandwidth — asymmetric routes allowed); Options.Topology
+// selects one for the live cluster, and the simulator applies it per link.
+// netmodel.WAN3Sites is a calibrated 3-site profile: 1 ms intra-site links,
+// 40-126 ms asymmetric inter-site links at ~100 Mbit/s. Precedence is
+// explicit: an adversarial Params.LatencyFn overrides the topology, which
+// overrides the uniform latency/jitter.
+//
+// The simulator adds runtime partition injection: simnet World.Partition
+// splits the system into groups and severs cross-group messages at their
+// arrival instant, either dropping them (PartitionDrop — a black hole,
+// which violates the quasi-reliable channel assumption while it lasts) or
+// holding them until World.Heal (PartitionDelay — TCP-like buffering, under
+// which every protocol property survives the episode and the minority side
+// catches up at the heal). Both compose with Crash and stay deterministic
+// under the simulation seed. Figures g1 (WAN latency vs pipeline width) and
+// g2 (delivered throughput across a minority-site partition-and-heal
+// episode) quantify the scenario: `abench -fig g1,g2`, with -topo and
+// -partition available to impose a topology or an episode on any figure.
+//
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
 // reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1

@@ -20,6 +20,7 @@ import (
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
 	"abcast/internal/rbcast"
+	"abcast/internal/sim"
 	"abcast/internal/simnet"
 	"abcast/internal/stack"
 	"abcast/internal/stats"
@@ -47,6 +48,19 @@ type Experiment struct {
 	// Pipeline is the consensus pipeline width W (0 or 1 = the paper's
 	// serial Algorithm 1); see core.Config.Pipeline.
 	Pipeline int
+
+	// PartitionFrom/PartitionUntil, when 0 < PartitionFrom <
+	// PartitionUntil, inject a partition episode: at virtual instant
+	// PartitionFrom the processes of PartitionMinority are cut off from the
+	// rest, and at PartitionUntil the network heals. The default semantics
+	// are simnet.PartitionDelay (TCP-like: the cut buffers traffic and the
+	// heal flushes it, so channels stay reliable and the minority catches
+	// up); PartitionDrop switches to black-hole semantics, under which
+	// traffic sent across the cut is lost for good.
+	PartitionFrom     time.Duration
+	PartitionUntil    time.Duration
+	PartitionMinority []int
+	PartitionDrop     bool
 
 	// MaxVirtual caps the simulated time after the last send; messages
 	// undelivered by then (saturation) still count into the mean with
@@ -79,6 +93,22 @@ func Run(e Experiment) (Result, error) {
 	start := time.Now()
 
 	w := simnet.NewWorld(e.N, e.Params, e.Seed)
+
+	if len(e.PartitionMinority) > 0 && e.PartitionFrom > 0 && e.PartitionUntil > e.PartitionFrom {
+		minority := make([]stack.ProcessID, len(e.PartitionMinority))
+		for i, p := range e.PartitionMinority {
+			if p < 1 || p > e.N {
+				return Result{}, fmt.Errorf("bench: partition minority process %d out of range 1..%d", p, e.N)
+			}
+			minority[i] = stack.ProcessID(p)
+		}
+		mode := simnet.PartitionDelay
+		if e.PartitionDrop {
+			mode = simnet.PartitionDrop
+		}
+		w.Engine().At(sim.Time(e.PartitionFrom), func() { w.Partition(mode, minority) })
+		w.Engine().At(sim.Time(e.PartitionUntil), func() { w.Heal() })
+	}
 
 	total := e.Messages + e.Warmup
 	sentAt := make(map[msg.ID]time.Duration, total)

@@ -123,6 +123,7 @@ func TestFiguresComplete(t *testing.T) {
 		"s1", "p1",
 		"6a", "6b", "6c",
 		"7a", "7b",
+		"g1", "g2",
 	}
 	for _, id := range want {
 		spec, ok := figs[id]

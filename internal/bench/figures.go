@@ -340,11 +340,119 @@ func Figures() map[string]FigureSpec {
 			}
 		},
 	})
+	// Extension: geo-replication. Figure g1 is the WAN counterpart of p1 —
+	// mean delivery latency as a function of the pipeline width W with
+	// n=3 processes spread over the three sites of netmodel.WAN3Sites. A
+	// consensus round costs an inter-site round trip (~100 ms aggregate),
+	// so with per-instance work capped the serial engine's ordering ceiling
+	// sits far below the offered load and queueing delay dominates; W
+	// concurrent instances lift the ceiling and collapse the latency. The
+	// unbounded curve is again the control.
+	figs = append(figs, FigureSpec{
+		ID:     "g1",
+		Title:  "EXTENSION: latency vs pipeline width W, n=3 across 3 WAN sites (1 ms intra, 40-126 ms inter), 100 msg/s, 100 B, IndirectCT",
+		XLabel: "pipeline width [W]",
+		Xs:     []float64{1, 2, 4, 8},
+		Stacks: []StackSpec{
+			{Label: "Indirect, MaxBatch=4", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4},
+			{Label: "Indirect, unbounded", Variant: core.VariantIndirectCT, RB: rbcast.KindEager},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(100, scale)
+			return Experiment{
+				Name:       fmt.Sprintf("%s W=%.0f wan3", s.Label, x),
+				N:          3,
+				Params:     netmodel.WAN3Sites(),
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Throughput: 100,
+				Payload:    100,
+				Messages:   measured,
+				Warmup:     warmup,
+				Seed:       seed,
+				MaxBatch:   s.MaxBatch,
+				Pipeline:   int(x),
+				MaxVirtual: 90 * time.Second,
+			}
+		},
+	})
+	// Extension: figure g2 adds a partition-and-heal episode to the WAN
+	// workload — the minority site (process 3) is cut off from 400 ms to
+	// 1.1 s of virtual time under PartitionDelay (TCP-like) semantics, a
+	// window the send schedule straddles at every scale. The majority pair
+	// keeps ordering through the episode (CT tolerates f < n/2 unreachable
+	// processes); at the heal, the held traffic flushes and the minority
+	// catches up. The delivered-throughput metric shows both effects: the
+	// backlog the episode creates and the rate at which each pipeline width
+	// drains it.
+	figs = append(figs, FigureSpec{
+		ID:     "g2",
+		Title:  "EXTENSION: delivered throughput vs pipeline width W across a minority-site partition (0.4-1.1 s, site of p3 cut, delay semantics), n=3 WAN, offered 120 msg/s, 100 B, IndirectCT",
+		XLabel: "pipeline width [W]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2, 4, 8},
+		Stacks: []StackSpec{
+			{Label: "Indirect, MaxBatch=4", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4},
+			{Label: "Indirect, unbounded", Variant: core.VariantIndirectCT, RB: rbcast.KindEager},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(120, scale)
+			return Experiment{
+				Name:              fmt.Sprintf("%s W=%.0f wan3+partition", s.Label, x),
+				N:                 3,
+				Params:            netmodel.WAN3Sites(),
+				Variant:           s.Variant,
+				RB:                s.RB,
+				Throughput:        120,
+				Payload:           100,
+				Messages:          measured,
+				Warmup:            warmup,
+				Seed:              seed,
+				MaxBatch:          s.MaxBatch,
+				Pipeline:          int(x),
+				PartitionFrom:     400 * time.Millisecond,
+				PartitionUntil:    1100 * time.Millisecond,
+				PartitionMinority: []int{3},
+				MaxVirtual:        90 * time.Second,
+			}
+		},
+	})
 	out := make(map[string]FigureSpec, len(figs))
 	for _, f := range figs {
 		out[f.ID] = f
 	}
 	return out
+}
+
+// NamedParams resolves a network-model name, as accepted by the -topo flag
+// of cmd/abench: the paper's two LAN test beds, the pipeline ablation's
+// metro network, and the 3-site WAN topology.
+func NamedParams(name string) (netmodel.Params, error) {
+	switch strings.ToLower(name) {
+	case "setup1":
+		return netmodel.Setup1(), nil
+	case "setup2":
+		return netmodel.Setup2(), nil
+	case "pipeline":
+		return PipelineParams(), nil
+	case "wan3":
+		return netmodel.WAN3Sites(), nil
+	default:
+		return netmodel.Params{}, fmt.Errorf("bench: unknown topology %q (have setup1, setup2, pipeline, wan3)", name)
+	}
+}
+
+// WithOverride returns a copy of the spec whose Build post-processes every
+// experiment with fn. cmd/abench uses it to re-run any figure on a
+// different network model (-topo) or with a fault episode (-partition).
+func (f FigureSpec) WithOverride(fn func(*Experiment)) FigureSpec {
+	orig := f.Build
+	f.Build = func(s StackSpec, x, scale float64, seed int64) Experiment {
+		e := orig(s, x, scale, seed)
+		fn(&e)
+		return e
+	}
+	return f
 }
 
 // FigureIDs returns all figure ids in display order.
@@ -363,6 +471,12 @@ func RunAndPrint(w io.Writer, id string, scale float64, seed int64) error {
 	if !ok {
 		return fmt.Errorf("bench: unknown figure %q (have %s)", id, strings.Join(FigureIDs(), ", "))
 	}
+	return RunSpecAndPrint(w, spec, scale, seed)
+}
+
+// RunSpecAndPrint regenerates one figure from an explicit spec (possibly
+// carrying overrides) and renders it.
+func RunSpecAndPrint(w io.Writer, spec FigureSpec, scale float64, seed int64) error {
 	fig, err := spec.Run(scale, seed)
 	if err != nil {
 		return err

@@ -9,8 +9,10 @@ import (
 
 // The JSON output is the machine-readable face of the harness: one object
 // per figure, one series per stack, one point per x value, every counter of
-// the Result included. It is what cmd/abench -json emits, so successive
-// runs can be archived (BENCH_<rev>.json) and diffed across PRs.
+// the Result included except host wall time — everything emitted is a
+// function of (figure, scale, seed), so a rerun is byte-identical. It is
+// what cmd/abench -json emits, so successive runs can be archived
+// (BENCH_<rev>.json) and diffed across PRs without noise.
 
 // JSONPoint is one measurement in machine-readable form.
 type JSONPoint struct {
@@ -28,7 +30,6 @@ type JSONPoint struct {
 	MsgsSent      int64   `json:"msgs_sent"`
 	BytesSent     int64   `json:"bytes_sent"`
 	VirtualMs     float64 `json:"virtual_ms"`
-	WallMs        float64 `json:"wall_ms"`
 }
 
 // JSONSeries is one curve.
@@ -86,7 +87,6 @@ func (f Figure) ToJSON(scale float64, seed int64) JSONFigure {
 				MsgsSent:      r.MsgsSent,
 				BytesSent:     r.BytesSent,
 				VirtualMs:     float64(r.Virtual) / float64(time.Millisecond),
-				WallMs:        float64(r.Wall) / float64(time.Millisecond),
 			})
 		}
 		out.Series = append(out.Series, series)
@@ -98,12 +98,22 @@ func (f Figure) ToJSON(scale float64, seed int64) JSONFigure {
 // JSON array.
 func RunJSON(w io.Writer, ids []string, scale float64, seed int64) error {
 	figs := Figures()
-	out := make([]JSONFigure, 0, len(ids))
+	specs := make([]FigureSpec, 0, len(ids))
 	for _, id := range ids {
 		spec, ok := figs[id]
 		if !ok {
 			return fmt.Errorf("bench: unknown figure %q", id)
 		}
+		specs = append(specs, spec)
+	}
+	return RunSpecsJSON(w, specs, scale, seed)
+}
+
+// RunSpecsJSON regenerates explicit figure specs (possibly carrying
+// overrides) and writes them as one indented JSON array.
+func RunSpecsJSON(w io.Writer, specs []FigureSpec, scale float64, seed int64) error {
+	out := make([]JSONFigure, 0, len(specs))
+	for _, spec := range specs {
 		fig, err := spec.Run(scale, seed)
 		if err != nil {
 			return err

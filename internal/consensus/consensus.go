@@ -16,6 +16,7 @@ package consensus
 
 import (
 	"fmt"
+	"time"
 
 	"abcast/internal/fd"
 	"abcast/internal/stack"
@@ -103,7 +104,20 @@ type Config struct {
 	// never ack, echo, or coordinate, and the instance could stall. The
 	// callback may synchronously call Propose for the same instance.
 	OnNeed func(k uint64)
+	// OpenDelay bounds how long an Open announcement may wait for a ride on
+	// outgoing algorithm traffic before the remaining destinations get a
+	// standalone OpenMsg beacon (0 = DefaultOpenDelay). Announcements
+	// piggyback on every algorithm message sent while pending, so under
+	// load most beacons cost no extra network messages; the delay is the
+	// worst-case join latency added to an otherwise idle pipelined
+	// instance.
+	OpenDelay time.Duration
 }
+
+// DefaultOpenDelay is the default piggyback window of Open announcements —
+// small against any consensus round trip, so pipelined instance joins are
+// never delayed materially.
+const DefaultOpenDelay = 250 * time.Microsecond
 
 // Service multiplexes consensus instances over stack.ProtoCons.
 type Service struct {
@@ -111,6 +125,17 @@ type Service struct {
 	cfg         Config
 	insts       map[uint64]*instance
 	prunedBelow uint64
+
+	// pendingOpen holds, per peer, the open announcements still waiting for
+	// a ride on outgoing algorithm traffic (see Open); flushArmed guards the
+	// single outstanding flush timer.
+	pendingOpen map[stack.ProcessID][]uint64
+	flushArmed  bool
+
+	// Beacon traffic accounting, surfaced through OpenTraffic.
+	opensAnnounced   int
+	opensPiggybacked int
+	opensStandalone  int
 }
 
 // NewService wires a consensus service into the node.
@@ -125,9 +150,10 @@ func NewService(node *stack.Node, cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("consensus: unknown algorithm %v", cfg.Algo)
 	}
 	s := &Service{
-		proto: node.Proto(stack.ProtoCons),
-		cfg:   cfg,
-		insts: make(map[uint64]*instance),
+		proto:       node.Proto(stack.ProtoCons),
+		cfg:         cfg,
+		insts:       make(map[uint64]*instance),
+		pendingOpen: make(map[stack.ProcessID][]uint64),
 	}
 	node.Register(stack.ProtoCons, stack.HandlerFunc(s.receive))
 	return s, nil
@@ -161,17 +187,146 @@ func (s *Service) instance(k uint64) *instance {
 	return inst
 }
 
-// Open broadcasts a participation beacon for instance k to all other
-// processes. Callers (the pipelined atomic broadcast engine) send it when
-// proposing to an instance beyond their lowest undecided serial number, or
-// when proposing an empty batch: in both cases the usual guarantee — that
-// the proposal's identifiers diffuse to everyone and pull them into the
-// instance — does not apply, so the beacon carries the news instead.
+// Open announces instance k to all other processes. Callers (the pipelined
+// atomic broadcast engine) invoke it when proposing to an instance beyond
+// their lowest undecided serial number, or when proposing an empty batch: in
+// both cases the usual guarantee — that the proposal's identifiers diffuse
+// to everyone and pull them into the instance — does not apply, so the
+// beacon carries the news instead.
+//
+// The announcement is not broadcast immediately: it piggybacks (as a
+// PiggyMsg wrapper) on whatever algorithm traffic this process sends within
+// Config.OpenDelay, and only the peers that saw no traffic in that window
+// get a standalone OpenMsg — one beacon covering every instance still
+// pending for them. Under pipelined load this turns the former n-1 beacon
+// messages per pipelined propose into (usually) zero extra messages.
 func (s *Service) Open(k uint64) {
 	if k < s.prunedBelow {
 		return
 	}
-	s.proto.BroadcastOthers(k, OpenMsg{})
+	ctx := s.proto.Ctx()
+	self := ctx.ID()
+	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
+		if q == self {
+			continue
+		}
+		if !containsU64(s.pendingOpen[q], k) {
+			s.pendingOpen[q] = append(s.pendingOpen[q], k)
+			s.opensAnnounced++
+		}
+	}
+	s.armOpenFlush()
+}
+
+// armOpenFlush schedules the standalone-beacon fallback for pending open
+// announcements, if not already scheduled.
+func (s *Service) armOpenFlush() {
+	if s.flushArmed || len(s.pendingOpen) == 0 {
+		return
+	}
+	s.flushArmed = true
+	d := s.cfg.OpenDelay
+	if d <= 0 {
+		d = DefaultOpenDelay
+	}
+	s.proto.Ctx().SetTimer(d, s.flushOpens)
+}
+
+// flushOpens sends one standalone OpenMsg to every peer whose announcements
+// found no ride within the piggyback window.
+func (s *Service) flushOpens() {
+	s.flushArmed = false
+	ctx := s.proto.Ctx()
+	self := ctx.ID()
+	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
+		if q == self {
+			continue
+		}
+		opens := s.takeOpens(q)
+		if len(opens) == 0 {
+			continue
+		}
+		s.opensStandalone += len(opens)
+		s.proto.Send(q, opens[0], OpenMsg{Also: opens[1:]})
+	}
+}
+
+// takeOpens removes and returns the still-live open announcements pending
+// for q; announcements for instances that have settled (decided or pruned)
+// in the meantime are elided — those peers learn of the outcome from the
+// decide relay instead.
+func (s *Service) takeOpens(q stack.ProcessID) []uint64 {
+	ks := s.pendingOpen[q]
+	if len(ks) == 0 {
+		return nil
+	}
+	delete(s.pendingOpen, q)
+	live := ks[:0]
+	for _, k := range ks {
+		if k < s.prunedBelow {
+			continue
+		}
+		if inst, ok := s.insts[k]; ok && inst.decided {
+			continue
+		}
+		live = append(live, k)
+	}
+	return live
+}
+
+// send transmits an algorithm message for instance k to q, letting pending
+// open announcements for q hitch a ride. All algorithm traffic (ct, mr,
+// decide dissemination) flows through here.
+func (s *Service) send(q stack.ProcessID, k uint64, m stack.Message) {
+	if q != s.proto.Ctx().ID() {
+		if opens := s.takeOpens(q); len(opens) > 0 {
+			s.opensPiggybacked += len(opens)
+			s.proto.Send(q, k, PiggyMsg{Opens: opens, M: m})
+			return
+		}
+	}
+	s.proto.Send(q, k, m)
+}
+
+// broadcast is stack.Proto.Broadcast through the piggybacking send path
+// (self-delivery last, preserving the live runtime's ordering contract).
+func (s *Service) broadcast(k uint64, m stack.Message) {
+	s.broadcastOthers(k, m)
+	s.proto.Send(s.proto.Ctx().ID(), k, m)
+}
+
+// broadcastOthers is stack.Proto.BroadcastOthers through the piggybacking
+// send path.
+func (s *Service) broadcastOthers(k uint64, m stack.Message) {
+	ctx := s.proto.Ctx()
+	self := ctx.ID()
+	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
+		if q != self {
+			s.send(q, k, m)
+		}
+	}
+}
+
+// OpenTraffic reports beacon accounting: announced is the number of
+// per-peer announcement obligations Open created, piggybacked how many rode
+// on algorithm traffic for free, standalone how many needed an OpenMsg of
+// their own. announced - piggybacked - standalone is the number elided
+// because the instance settled before any send. Tests use it to pin the
+// message-count reduction over the naive scheme (which always paid
+// standalone == announced).
+func (s *Service) OpenTraffic() (announced, piggybacked, standalone int) {
+	return s.opensAnnounced, s.opensPiggybacked, s.opensStandalone
+}
+
+// containsU64 reports whether xs contains k (the pending lists are a few
+// entries long at most).
+func containsU64(xs []uint64, k uint64) bool {
+	for _, x := range xs {
+		if x == k {
+			return true
+		}
+	}
+	return false
 }
 
 // PruneBelow releases all state of instances with serial number < k and
@@ -197,19 +352,29 @@ func (s *Service) InstanceCount() int { return len(s.insts) }
 
 // receive routes an incoming consensus message to its instance.
 func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
-	if k < s.prunedBelow {
-		return // stale traffic for a settled, pruned instance
-	}
-	if _, ok := m.(OpenMsg); ok {
-		// Beacons carry no algorithm state: just surface the instance to
-		// the layer above if this process has not joined it yet.
-		if inst, exists := s.insts[k]; exists && (inst.proposed || inst.decided) {
-			return
+	if pm, ok := m.(PiggyMsg); ok {
+		// Piggybacked open announcements are independent of the carried
+		// message's instance: process them before the prune check on k.
+		for _, ko := range pm.Opens {
+			s.noteOpen(ko)
 		}
-		if s.cfg.OnNeed != nil {
-			s.cfg.OnNeed(k)
+		m = pm.M
+	}
+	if om, ok := m.(OpenMsg); ok {
+		// Beacons carry no algorithm state: just surface the instances to
+		// the layer above if this process has not joined them yet. Each
+		// announced instance is judged on its own (noteOpen checks the
+		// prune watermark per instance), so a batched beacon whose envelope
+		// instance is already pruned here still delivers its live Also
+		// entries.
+		s.noteOpen(k)
+		for _, ko := range om.Also {
+			s.noteOpen(ko)
 		}
 		return
+	}
+	if k < s.prunedBelow {
+		return // stale traffic for a settled, pruned instance
 	}
 	inst := s.instance(k)
 	// Decisions short-circuit everything, including the pre-propose
@@ -233,6 +398,21 @@ func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
 		return
 	}
 	inst.dispatch(from, m)
+}
+
+// noteOpen surfaces an open announcement (beacon or piggybacked) for
+// instance k to the layer above, unless this process has already joined or
+// settled the instance.
+func (s *Service) noteOpen(k uint64) {
+	if k < s.prunedBelow {
+		return
+	}
+	if inst, exists := s.insts[k]; exists && (inst.proposed || inst.decided) {
+		return
+	}
+	if s.cfg.OnNeed != nil {
+		s.cfg.OnNeed(k)
+	}
 }
 
 // bufferedMsg is a message queued before the local propose.

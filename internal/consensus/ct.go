@@ -66,7 +66,7 @@ func (c *ctInst) nextRound() {
 	// Phase 1: send the current estimate to the round's coordinator
 	// (skipped in round 1, where the coordinator uses its own estimate).
 	if r > 1 {
-		c.in.svc.proto.Send(co, c.in.k, CTEstimateMsg{R: r, TS: c.ts, Est: c.estimate})
+		c.in.svc.send(co, c.in.k, CTEstimateMsg{R: r, TS: c.ts, Est: c.estimate})
 	}
 
 	// Phase 2 (coordinator): round 1 proposes the coordinator's own
@@ -76,7 +76,7 @@ func (c *ctInst) nextRound() {
 		if r == 1 {
 			c.propVal[1] = c.estimate
 			c.propSent[1] = true
-			c.in.svc.proto.Broadcast(c.in.k, CTProposalMsg{R: 1, Est: c.estimate})
+			c.in.svc.broadcast(c.in.k, CTProposalMsg{R: 1, Est: c.estimate})
 		} else {
 			c.tryCoordinatorPropose(r)
 		}
@@ -116,7 +116,7 @@ func (c *ctInst) tryCoordinatorPropose(r int) {
 	// rcv holds (see the paper's "need for estimatec and estimatep").
 	c.propVal[r] = best.Est
 	c.propSent[r] = true
-	c.in.svc.proto.Broadcast(c.in.k, CTProposalMsg{R: r, Est: best.Est})
+	c.in.svc.broadcast(c.in.k, CTProposalMsg{R: r, Est: best.Est})
 }
 
 // actOnProposal is Phase 3 with a proposal at hand.
@@ -135,10 +135,10 @@ func (c *ctInst) actOnProposal(r int) {
 	if accept {
 		c.estimate = v
 		c.ts = r
-		c.in.svc.proto.Send(co, c.in.k, CTAckMsg{R: r})
+		c.in.svc.send(co, c.in.k, CTAckMsg{R: r})
 	} else {
 		// Line 30: the proposal names messages this process is missing.
-		c.in.svc.proto.Send(co, c.in.k, CTAckMsg{R: r, Nack: true})
+		c.in.svc.send(co, c.in.k, CTAckMsg{R: r, Nack: true})
 	}
 	c.afterPhase3(r)
 }
@@ -149,7 +149,7 @@ func (c *ctInst) refuse(r int) {
 	if c.r != r || c.phase != 3 {
 		return
 	}
-	c.in.svc.proto.Send(coord(r, c.n()), c.in.k, CTAckMsg{R: r, Nack: true})
+	c.in.svc.send(coord(r, c.n()), c.in.k, CTAckMsg{R: r, Nack: true})
 	c.afterPhase3(r)
 }
 

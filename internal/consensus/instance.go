@@ -81,7 +81,7 @@ func (in *instance) broadcastDecide(v Value) {
 		return
 	}
 	in.decideSent = true
-	in.svc.proto.Broadcast(in.k, DecideMsg{Est: v})
+	in.svc.broadcast(in.k, DecideMsg{Est: v})
 }
 
 // onDecide handles a received decide message: relay once (reliable
@@ -93,7 +93,7 @@ func (in *instance) onDecide(v Value) {
 	}
 	if !in.decideSent {
 		in.decideSent = true
-		in.svc.proto.BroadcastOthers(in.k, DecideMsg{Est: v})
+		in.svc.broadcastOthers(in.k, DecideMsg{Est: v})
 	}
 	in.decided = true
 	in.decision = v

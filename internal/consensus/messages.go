@@ -71,10 +71,32 @@ func (m DecideMsg) WireSize() int { return 2 + valueSize(m.Est) }
 // processes to join, and the rotating coordinator could wait forever on a
 // correct process that never proposes. Receivers that have not proposed to
 // the instance react through Config.OnNeed.
-type OpenMsg struct{}
+//
+// A standalone OpenMsg is the fallback path: announcements first wait
+// (briefly) for a ride on outgoing algorithm traffic as a PiggyMsg, and only
+// destinations that saw no traffic within Config.OpenDelay get the beacon as
+// its own message. One beacon covers many instances: the envelope's Inst
+// field carries the first, Also the rest.
+type OpenMsg struct {
+	// Also lists further open instances beyond the envelope's Inst.
+	Also []uint64
+}
 
 // WireSize implements stack.Message.
-func (m OpenMsg) WireSize() int { return 2 }
+func (m OpenMsg) WireSize() int { return 2 + 8*len(m.Also) }
+
+// PiggyMsg decorates an algorithm message with open-instance announcements,
+// so a pipelined propose costs no standalone beacon messages when the sender
+// is already talking to the destination. The receiver processes Opens
+// exactly like OpenMsg beacons, then handles M under the envelope's own
+// instance.
+type PiggyMsg struct {
+	Opens []uint64
+	M     stack.Message
+}
+
+// WireSize implements stack.Message.
+func (m PiggyMsg) WireSize() int { return 1 + 8*len(m.Opens) + m.M.WireSize() }
 
 var (
 	_ stack.Message = CTEstimateMsg{}
@@ -83,4 +105,5 @@ var (
 	_ stack.Message = MREchoMsg{}
 	_ stack.Message = DecideMsg{}
 	_ stack.Message = OpenMsg{}
+	_ stack.Message = PiggyMsg{}
 )

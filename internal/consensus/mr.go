@@ -117,7 +117,7 @@ func (m *mrInst) sendEcho(r int, est Value) {
 		return
 	}
 	m.echoSent[r] = true
-	m.in.svc.proto.Broadcast(m.in.k, MREchoMsg{R: r, Bottom: est == nil, Est: est})
+	m.in.svc.broadcast(m.in.k, MREchoMsg{R: r, Bottom: est == nil, Est: est})
 }
 
 // dispatch implements algoImpl.

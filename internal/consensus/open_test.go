@@ -136,6 +136,107 @@ func TestBufferedTrafficFiresOnNeed(t *testing.T) {
 	}
 }
 
+// TestOpenPiggybacksOnAlgorithmTraffic: an Open issued in the same event as
+// a propose that broadcasts (the round-1 coordinator's proposal) must ride
+// on that traffic — zero standalone beacon messages.
+func TestOpenPiggybacksOnAlgorithmTraffic(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	// coord(1, 3) = 2: p2's round-1 proposal broadcast is the ride.
+	h.w.After(2, time.Millisecond, func() {
+		h.svcs[2].Open(7)
+		h.svcs[2].Propose(1, tv("v2"))
+	})
+	h.w.RunFor(time.Second)
+	for _, p := range []int{1, 3} {
+		if h.needs[p][7] == 0 {
+			t.Fatalf("p%d never learned of instance 7 via piggyback", p)
+		}
+	}
+	announced, piggybacked, standalone := h.svcs[2].OpenTraffic()
+	if announced != 2 || piggybacked != 2 || standalone != 0 {
+		t.Fatalf("OpenTraffic = (%d, %d, %d), want (2, 2, 0): the proposal broadcast should have carried both announcements",
+			announced, piggybacked, standalone)
+	}
+}
+
+// TestOpenStandaloneBeaconsBatch: announcements that find no ride fall back
+// to one standalone OpenMsg per peer covering every pending instance — not
+// one message per (instance, peer).
+func TestOpenStandaloneBeaconsBatch(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	h.w.After(1, time.Millisecond, func() {
+		h.svcs[1].Open(7)
+		h.svcs[1].Open(9)
+	})
+	h.w.RunFor(time.Second)
+	for _, p := range []int{2, 3} {
+		for _, k := range []uint64{7, 9} {
+			if h.needs[p][k] == 0 {
+				t.Fatalf("p%d never learned of instance %d", p, k)
+			}
+		}
+	}
+	announced, piggybacked, standalone := h.svcs[1].OpenTraffic()
+	if announced != 4 || piggybacked != 0 || standalone != 4 {
+		t.Fatalf("OpenTraffic = (%d, %d, %d), want (4, 0, 4)", announced, piggybacked, standalone)
+	}
+	// Both instances share one wire message per peer (the Scripted
+	// detectors emit no heartbeats, so all traffic here is beacons).
+	if got := h.w.MsgsSent(); got != 2 {
+		t.Fatalf("MsgsSent = %d, want 2 (one batched beacon per peer)", got)
+	}
+}
+
+// TestBatchedBeaconSurvivesPrunedEnvelopeInstance: a standalone beacon
+// whose envelope instance the receiver has already pruned must still
+// deliver its live Also announcements — each announced instance is judged
+// against the prune watermark on its own.
+func TestBatchedBeaconSurvivesPrunedEnvelopeInstance(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	// p2 has settled instances below 6; p1's batched beacon arrives with
+	// envelope instance 5 and Also=[9].
+	h.w.After(2, time.Millisecond, func() { h.svcs[2].PruneBelow(6) })
+	h.w.After(1, 2*time.Millisecond, func() {
+		h.svcs[1].Open(5)
+		h.svcs[1].Open(9)
+	})
+	h.w.RunFor(time.Second)
+	if h.needs[2][5] != 0 {
+		t.Fatal("p2 notified of an instance below its prune watermark")
+	}
+	if h.needs[2][9] == 0 {
+		t.Fatal("p2 lost the live announcement batched behind a pruned envelope instance")
+	}
+	// p3 pruned nothing and must learn of both.
+	if h.needs[3][5] == 0 || h.needs[3][9] == 0 {
+		t.Fatal("p3 missed a batched announcement (test wiring broken)")
+	}
+}
+
+// TestOpenElidedWhenSettledBeforeFlush: announcements whose instance is
+// pruned before the flush are silently dropped — the peers learn the
+// outcome from the decide relay, not from a beacon.
+func TestOpenElidedWhenSettledBeforeFlush(t *testing.T) {
+	h := newNeedHarness(t, 3)
+	h.w.After(1, time.Millisecond, func() {
+		h.svcs[1].Open(7)
+		h.svcs[1].PruneBelow(8)
+	})
+	h.w.RunFor(time.Second)
+	if h.w.MsgsSent() != 0 {
+		t.Fatalf("MsgsSent = %d, want 0: pruned announcement still flushed", h.w.MsgsSent())
+	}
+	announced, piggybacked, standalone := h.svcs[1].OpenTraffic()
+	if announced != 2 || piggybacked != 0 || standalone != 0 {
+		t.Fatalf("OpenTraffic = (%d, %d, %d), want (2, 0, 0)", announced, piggybacked, standalone)
+	}
+	for _, p := range []int{2, 3} {
+		if h.needs[p][7] != 0 {
+			t.Fatalf("p%d notified of a pruned instance", p)
+		}
+	}
+}
+
 // TestOnNeedCanProposeSynchronously: proposing from inside the callback is
 // allowed and the buffered message that triggered it is replayed, so the
 // instance decides.

@@ -1,0 +1,167 @@
+package core
+
+// Property tests of atomic broadcast across network partitions
+// (simnet.Partition / Heal): random minority partitions with a later heal
+// must preserve Uniform total order and the paper's No loss invariant in
+// every mode, while the majority side keeps making progress during the
+// episode.
+//
+// The two partition modes give different liveness guarantees, and the tests
+// pin exactly that contract:
+//
+//   - PartitionDelay (TCP-like: the cut buffers, the heal flushes) keeps
+//     channels reliable, so every property of the paper's model survives —
+//     including full delivery everywhere once the network heals.
+//   - PartitionDrop (black hole) violates the quasi-reliable channel
+//     assumption while the cut lasts: safety (total order, No loss) is
+//     untouched, and the majority still progresses and delivers everything
+//     it originated, but the minority side may stay behind for good —
+//     decide relays it missed are not retransmitted. Recovering from drop
+//     partitions needs a retransmitting transport, which is what
+//     PartitionDelay models.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"abcast/internal/consensus"
+	"abcast/internal/msg"
+	"abcast/internal/netmodel"
+	"abcast/internal/rbcast"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+// partitionRun drives one randomized minority-partition episode and returns
+// the cluster plus the majority deliveries observed at cut and heal time.
+func partitionRun(t *testing.T, seed int64, minoritySize int, mode simnet.PartitionMode, pipeline bool) (c *cluster, sent []msg.ID, majoritySent []msg.ID, atCut, atHeal int) {
+	t.Helper()
+	const n = 5
+	var mutate []func(*Config)
+	if pipeline {
+		mutate = append(mutate, pipelined(3, 2))
+	}
+	// No loss at every decision instant: nobody crashes in these runs, so
+	// every process counts as correct and at least one holder must exist.
+	var violations []string
+	c = newCluster(t, n, VariantIndirectCT, rbcast.KindEager, netmodel.Setup1(), seed, mutate...)
+	for i := 1; i <= n; i++ {
+		i := i
+		eng := c.engines[i]
+		eng.cfg.OnDecision = func(k uint64, v consensus.Value) {
+			ids := idsOfValue(v)
+			if len(ids) == 0 {
+				return
+			}
+			holders := 0
+			for q := 1; q <= n; q++ {
+				all := true
+				for _, id := range ids {
+					if !c.engines[q].HasReceived(id) {
+						all = false
+						break
+					}
+				}
+				if all {
+					holders++
+				}
+			}
+			if holders == 0 {
+				violations = append(violations,
+					fmt.Sprintf("p%d k=%d ids=%v: no holder", i, k, ids))
+			}
+		}
+	}
+	t.Cleanup(func() {
+		if len(violations) > 0 {
+			t.Errorf("No loss violated: %v", violations)
+		}
+	})
+
+	minority := procs()
+	for m := 0; m < minoritySize; m++ {
+		minority = append(minority, stack.ProcessID(n-m))
+	}
+	isMinority := func(p stack.ProcessID) bool {
+		for _, q := range minority {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Symmetric workload straddling the episode: sends before, during, and
+	// after the cut, jittered per seed.
+	const cutAt, healAt = 400 * time.Millisecond, 1000 * time.Millisecond
+	for i := 1; i <= n; i++ {
+		p := stack.ProcessID(i)
+		for s := 0; s < 10; s++ {
+			at := time.Duration((int(seed)*29+i*13+s*149)%1400) * time.Millisecond
+			c.abcast(p, at, fmt.Sprintf("m-%d-%d", i, s))
+			id := msg.ID{Sender: p, Seq: uint64(s + 1)}
+			sent = append(sent, id)
+			if !isMinority(p) {
+				majoritySent = append(majoritySent, id)
+			}
+		}
+	}
+
+	c.w.After(1, cutAt, func() {
+		atCut = len(c.delivered[1])
+		c.w.Partition(mode, minority)
+	})
+	c.w.After(1, healAt, func() {
+		atHeal = len(c.delivered[1])
+		c.w.Heal()
+	})
+	c.w.RunFor(40 * time.Second)
+	return c, sent, majoritySent, atCut, atHeal
+}
+
+// TestPartitionDelayPreservesAllProperties: under delay (TCP-like)
+// semantics, a minority partition plus heal must leave every atomic
+// broadcast property intact — total order, integrity, No loss, and full
+// delivery everywhere — while the majority progresses during the cut.
+func TestPartitionDelayPreservesAllProperties(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, minoritySize := range []int{1, 2} {
+			pipeline := seed%2 == 0 // alternate serial and pipelined engines
+			name := fmt.Sprintf("seed=%d/minority=%d/pipeline=%v", seed, minoritySize, pipeline)
+			t.Run(name, func(t *testing.T) {
+				c, sent, _, atCut, atHeal := partitionRun(t, seed, minoritySize, simnet.PartitionDelay, pipeline)
+				all := procs(1, 2, 3, 4, 5)
+				c.checkTotalOrder(t, all)
+				c.checkIntegrity(t, all)
+				c.checkDelivers(t, all, sent) // reliable channels: everyone catches up
+				if atHeal <= atCut {
+					t.Fatalf("majority made no progress during the partition: %d -> %d deliveries",
+						atCut, atHeal)
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionDropKeepsSafety: under drop (black-hole) semantics the
+// channel assumption is violated, so only safety and majority-side
+// liveness are promised: prefix total order, integrity, No loss, majority
+// progress during the cut, and delivery of all majority-originated
+// messages on the majority side.
+func TestPartitionDropKeepsSafety(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		name := fmt.Sprintf("seed=%d", seed)
+		t.Run(name, func(t *testing.T) {
+			c, _, majoritySent, atCut, atHeal := partitionRun(t, seed, 2, simnet.PartitionDrop, false)
+			all := procs(1, 2, 3, 4, 5)
+			c.checkTotalOrder(t, all)
+			c.checkIntegrity(t, all)
+			c.checkDelivers(t, procs(1, 2, 3), majoritySent)
+			if atHeal <= atCut {
+				t.Fatalf("majority made no progress during the partition: %d -> %d deliveries",
+					atCut, atHeal)
+			}
+		})
+	}
+}

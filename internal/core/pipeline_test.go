@@ -214,3 +214,37 @@ func TestPipelineValidation(t *testing.T) {
 		t.Fatalf("default window = %d, want 1", eng.window)
 	}
 }
+
+// TestPipelineBeaconPiggybackReducesMessages pins the message-count win of
+// piggybacking participation beacons on algorithm traffic: under pipelined
+// load, most Open announcements must ride for free, and the standalone
+// beacon count must stay strictly below the naive scheme's cost (which paid
+// one standalone message per announcement, i.e. standalone == announced).
+func TestPipelineBeaconPiggybackReducesMessages(t *testing.T) {
+	c := newCluster(t, 3, VariantIndirectCT, rbcast.KindEager, netmodel.Setup1(), 53,
+		pipelined(4, 2))
+	want := burst(c, 3, 12, 2*time.Millisecond)
+	c.w.RunFor(30 * time.Second)
+	all := procs(1, 2, 3)
+	c.checkDelivers(t, all, want)
+	c.checkTotalOrder(t, all)
+
+	announced, piggybacked, standalone := 0, 0, 0
+	for _, p := range all {
+		a, pb, sa := c.engines[p].cons.OpenTraffic()
+		announced += a
+		piggybacked += pb
+		standalone += sa
+	}
+	t.Logf("beacons: announced=%d piggybacked=%d standalone=%d", announced, piggybacked, standalone)
+	if announced == 0 {
+		t.Fatal("no Open announcements at all; the pipeline never opened an instance")
+	}
+	if piggybacked == 0 {
+		t.Fatal("no announcement ever piggybacked on algorithm traffic")
+	}
+	if standalone >= announced {
+		t.Fatalf("standalone beacons (%d) not reduced below the naive per-announcement cost (%d)",
+			standalone, announced)
+	}
+}

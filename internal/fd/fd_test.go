@@ -158,6 +158,104 @@ func TestTimeoutCapRespected(t *testing.T) {
 	}
 }
 
+// TestDelayedHeartbeatsSuspectedThenRecovered: heartbeats that are merely
+// delayed (never lost) must still trigger a suspicion once the delay
+// exceeds the timeout — and the late arrivals must then restore trust and
+// grow the timeout, not be mistaken for fresh liveness. This is the
+// asynchronous-channel case, as opposed to the dropped-heartbeat case of
+// TestCrashEventuallySuspected.
+func TestDelayedHeartbeatsSuspectedThenRecovered(t *testing.T) {
+	cfg := Config{
+		Interval:         10 * time.Millisecond,
+		InitialTimeout:   40 * time.Millisecond,
+		TimeoutIncrement: 80 * time.Millisecond,
+		MaxTimeout:       time.Second,
+	}
+	params := netmodel.Setup1()
+	// Every heartbeat from p2 takes 200 ms — far beyond the 40 ms timeout —
+	// but all of them arrive.
+	var w *simnet.World
+	params.LatencyFn = func(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+		if from == 2 {
+			return 200 * time.Millisecond
+		}
+		return params.Latency
+	}
+	w = simnet.NewWorld(2, params, 5)
+	h1 := NewHeartbeat(w.Node(1), cfg)
+	NewHeartbeat(w.Node(2), cfg)
+	var events []bool
+	h1.Subscribe(func(q stack.ProcessID, s bool) {
+		if q == 2 {
+			events = append(events, s)
+		}
+	})
+	w.RunFor(3 * time.Second)
+	if len(events) == 0 || !events[0] {
+		t.Fatalf("events = %v: delay beyond the timeout never triggered a suspicion", events)
+	}
+	recovered := false
+	for _, s := range events {
+		if !s {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("trust never restored although every heartbeat eventually arrived")
+	}
+	if to := h1.timeout[2]; to <= cfg.InitialTimeout {
+		t.Fatalf("timeout = %v, not adapted beyond the initial %v despite wrong suspicions",
+			to, cfg.InitialTimeout)
+	}
+	// With the adapted timeout above the one-way delay, the detector ends
+	// the run in the ◇S steady state: no current suspicion of a live peer.
+	if h1.Suspects(2) {
+		t.Fatal("still suspecting a live, merely slow process at the end of the run")
+	}
+}
+
+// TestSuspicionAcrossPartitionAndHeal: a partition must make the two sides
+// suspect each other (strong completeness applies — a cut peer is
+// indistinguishable from a crashed one), and a heal must restore trust on
+// both sides once heartbeats flow again. This is the detector-level
+// contract the atomic broadcast stack relies on to stall and then resume
+// across WAN partition episodes.
+func TestSuspicionAcrossPartitionAndHeal(t *testing.T) {
+	for _, mode := range []simnet.PartitionMode{simnet.PartitionDrop, simnet.PartitionDelay} {
+		name := "drop"
+		if mode == simnet.PartitionDelay {
+			name = "delay"
+		}
+		t.Run(name, func(t *testing.T) {
+			w, hbs := newHBWorld(t, 3, DefaultConfig())
+			w.After(1, 300*time.Millisecond, func() {
+				w.Partition(mode, []stack.ProcessID{3})
+			})
+			// Let the partition last several timeouts, then check both
+			// sides suspect across the cut and not within their side.
+			w.RunFor(1500 * time.Millisecond)
+			if !hbs[1].Suspects(3) || !hbs[2].Suspects(3) {
+				t.Fatal("majority never suspected the cut-off process")
+			}
+			if !hbs[3].Suspects(1) || !hbs[3].Suspects(2) {
+				t.Fatal("minority never suspected the unreachable majority")
+			}
+			if hbs[1].Suspects(2) || hbs[2].Suspects(1) {
+				t.Fatal("suspicion within an intact side")
+			}
+			w.Heal()
+			w.RunFor(5 * time.Second)
+			for i := 1; i <= 3; i++ {
+				for j := 1; j <= 3; j++ {
+					if i != j && hbs[i].Suspects(stack.ProcessID(j)) {
+						t.Fatalf("p%d still suspects p%d long after the heal (%s mode)", i, j, name)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestScripted(t *testing.T) {
 	s := NewScripted()
 	if s.Suspects(1) {

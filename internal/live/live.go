@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"abcast/internal/netmodel"
 	"abcast/internal/stack"
 )
 
@@ -27,6 +28,7 @@ type Option func(*config)
 type config struct {
 	latency time.Duration
 	jitter  time.Duration
+	topo    *netmodel.Topology
 	seed    int64
 }
 
@@ -35,6 +37,13 @@ func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = 
 
 // WithJitter adds uniform ±jitter to each message's latency.
 func WithJitter(d time.Duration) Option { return func(c *config) { c.jitter = d } }
+
+// WithTopology gives each directed link the latency and jitter of the
+// topology's site-pair link, overriding the uniform WithLatency/WithJitter
+// values (link bandwidth is not modelled on the live runtime — messages
+// cross an in-memory channel, so transmission time is effectively zero).
+// A nil topology leaves the uniform network in place.
+func WithTopology(t *netmodel.Topology) Option { return func(c *config) { c.topo = t } }
 
 // WithSeed seeds the per-process random sources.
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
@@ -278,7 +287,12 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 		return
 	}
 	d := p.net.cfg.latency
-	if j := p.net.cfg.jitter; j > 0 {
+	j := p.net.cfg.jitter
+	if t := p.net.cfg.topo; t != nil {
+		l := t.LinkOf(from, to)
+		d, j = l.Latency, l.Jitter
+	}
+	if j > 0 {
 		p.rngMu.Lock()
 		d += time.Duration(p.rng.Int63n(int64(2*j))) - j
 		p.rngMu.Unlock()

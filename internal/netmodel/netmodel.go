@@ -40,7 +40,14 @@ type Params struct {
 	// [-Jitter, +Jitter]. Deterministic given the simulation seed.
 	Jitter time.Duration
 
+	// Topology, when set, replaces the uniform Latency/Jitter/Bandwidth
+	// with per-directed-link parameters (see Topology and LinkFor). It is
+	// how geo-replicated deployments — sites on fast local links joined by
+	// slow asymmetric WAN paths — are modelled.
+	Topology *Topology
+
 	// Bandwidth is the capacity of each directed link, in bytes/second.
+	// A Topology link with zero bandwidth inherits this value.
 	Bandwidth float64
 	// WirePerMsg is per-message framing overhead added on the wire.
 	WirePerMsg int
@@ -55,11 +62,48 @@ type Params struct {
 	// (faulty) direct use of consensus on identifiers (Figures 3 and 4).
 	RcvCheckPerID time.Duration
 
-	// LatencyFn, when set, overrides Latency+Jitter per message. It is
-	// used by adversarial tests to build the asynchronous schedules of
-	// Section 2.2 (reliable channels are not FIFO across messages in the
-	// formal model).
+	// LatencyFn, when set, overrides the propagation delay per message —
+	// including the per-link delay of a Topology. The precedence contract
+	// is: LatencyFn > Topology > uniform Latency+Jitter. (LatencyFn does
+	// not override bandwidth: link occupancy still follows the Topology or
+	// the uniform Bandwidth.) It is used by adversarial tests to build the
+	// asynchronous schedules of Section 2.2 (reliable channels are not FIFO
+	// across messages in the formal model).
 	LatencyFn func(from, to stack.ProcessID, env stack.Envelope) time.Duration
+}
+
+// LinkFor resolves the effective parameters of the directed link from→to:
+// the Topology's link when one is set (with zero-bandwidth links inheriting
+// the uniform Bandwidth), the uniform Latency/Jitter/Bandwidth otherwise.
+// Callers honouring the precedence contract must consult LatencyFn first —
+// when set, it replaces the returned Latency and Jitter (never the
+// Bandwidth).
+func (p Params) LinkFor(from, to stack.ProcessID) Link {
+	if p.Topology == nil {
+		return Link{Latency: p.Latency, Jitter: p.Jitter, Bandwidth: p.Bandwidth}
+	}
+	l := p.Topology.LinkOf(from, to)
+	if l.Bandwidth == 0 {
+		l.Bandwidth = p.Bandwidth
+	}
+	return l
+}
+
+// TxTimeOn returns the link occupancy time of a message of the given wire
+// size on the directed link from→to, honouring a Topology's per-link
+// bandwidth.
+func (p Params) TxTimeOn(from, to stack.ProcessID, size int) time.Duration {
+	return p.txTime(p.LinkFor(from, to).Bandwidth, size)
+}
+
+// txTime is the shared occupancy formula: (size+framing)/bandwidth, with
+// non-positive bandwidth meaning free transmission.
+func (p Params) txTime(bw float64, size int) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	bytes := float64(size + p.WirePerMsg)
+	return time.Duration(bytes / bw * float64(time.Second))
 }
 
 // SendCost returns the sender-side CPU cost for a message of the given wire
@@ -75,13 +119,9 @@ func (p Params) RecvCost(size int) time.Duration {
 }
 
 // TxTime returns the link occupancy time of a message of the given wire
-// size.
+// size on the uniform network.
 func (p Params) TxTime(size int) time.Duration {
-	if p.Bandwidth <= 0 {
-		return 0
-	}
-	bytes := float64(size + p.WirePerMsg)
-	return time.Duration(bytes / p.Bandwidth * float64(time.Second))
+	return p.txTime(p.Bandwidth, size)
 }
 
 // Setup1 models the paper's Setup 1: Pentium III 766 MHz hosts on switched

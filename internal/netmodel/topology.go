@@ -1,0 +1,104 @@
+package netmodel
+
+import (
+	"time"
+
+	"abcast/internal/stack"
+)
+
+// Link is the parameter set of one directed link. Latency and Jitter are
+// taken as given — zero means a zero-delay, jitter-free link; only a zero
+// Bandwidth inherits the uniform Params.Bandwidth (see Params.LinkFor).
+type Link struct {
+	// Latency is the one-way propagation delay of the link.
+	Latency time.Duration
+	// Jitter uniformly perturbs each message's latency in [-Jitter, +Jitter].
+	Jitter time.Duration
+	// Bandwidth is the link capacity in bytes/second; 0 inherits
+	// Params.Bandwidth.
+	Bandwidth float64
+}
+
+// Topology assigns every process to a site and every ordered site pair a
+// Link, turning the uniform network of Params into a geo-replicated one with
+// per-directed-link latency, jitter, and bandwidth. Directions are
+// independent, so inter-site paths may be asymmetric (as real WAN routes
+// are).
+//
+// Precedence: when Params.LatencyFn is set it overrides the topology's
+// latency and jitter (but not bandwidth) — LatencyFn is the adversarial
+// escape hatch and always wins. See Params.LatencyFn.
+type Topology struct {
+	// Name labels the topology in figure titles and flag values.
+	Name string
+	// SiteLink[i][j] is the directed link from site i to site j; i == j is
+	// the intra-site link. len(SiteLink) is the number of sites.
+	SiteLink [][]Link
+	// Assign[p-1] is the site of process p. Processes beyond len(Assign)
+	// are assigned round-robin ((p-1) mod sites), so the common "one or two
+	// processes per site" layouts need no explicit assignment.
+	Assign []int
+}
+
+// Sites returns the number of sites.
+func (t *Topology) Sites() int { return len(t.SiteLink) }
+
+// Site returns the site of process p.
+func (t *Topology) Site(p stack.ProcessID) int {
+	i := int(p) - 1
+	if i >= 0 && i < len(t.Assign) {
+		return t.Assign[i]
+	}
+	return i % t.Sites()
+}
+
+// LinkOf returns the directed link parameters from process `from` to
+// process `to`.
+func (t *Topology) LinkOf(from, to stack.ProcessID) Link {
+	return t.SiteLink[t.Site(from)][t.Site(to)]
+}
+
+// SameSite reports whether two processes share a site.
+func (t *Topology) SameSite(a, b stack.ProcessID) bool {
+	return t.Site(a) == t.Site(b)
+}
+
+// SiteProcs returns the processes of site s in an n-process system, in
+// ascending order. Benchmarks use it to cut a whole site off in partition
+// episodes.
+func (t *Topology) SiteProcs(s, n int) []stack.ProcessID {
+	var out []stack.ProcessID
+	for p := stack.ProcessID(1); p <= stack.ProcessID(n); p++ {
+		if t.Site(p) == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WAN3Sites models a 3-site geo-replicated deployment of Setup-2-class
+// hosts: 1 ms intra-site links at full LAN bandwidth, and asymmetric
+// inter-site links of 40/80/120 ms (with the reverse directions a few ms
+// longer, as real WAN routes are) at ~100 Mbit/s. Jitter scales with
+// latency. Site membership is round-robin: with n=3, process p lives alone
+// in site p-1.
+//
+// The profile is where the pipeline extension pays off: a consensus round
+// costs an inter-site round trip, so the serial engine idles for tens of
+// milliseconds between instances (see figures g1/g2).
+func WAN3Sites() Params {
+	p := Setup2()
+	intra := Link{Latency: time.Millisecond, Jitter: 50 * time.Microsecond, Bandwidth: p.Bandwidth}
+	wan := func(lat time.Duration) Link {
+		return Link{Latency: lat, Jitter: lat / 40, Bandwidth: 12.5e6}
+	}
+	p.Topology = &Topology{
+		Name: "wan3",
+		SiteLink: [][]Link{
+			{intra, wan(40 * time.Millisecond), wan(80 * time.Millisecond)},
+			{wan(44 * time.Millisecond), intra, wan(120 * time.Millisecond)},
+			{wan(88 * time.Millisecond), wan(126 * time.Millisecond), intra},
+		},
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+func TestTopologySiteAssignment(t *testing.T) {
+	p := WAN3Sites()
+	topo := p.Topology
+	if topo == nil || topo.Sites() != 3 {
+		t.Fatalf("WAN3Sites topology = %+v, want 3 sites", topo)
+	}
+	// Round-robin default: p1..p6 -> sites 0,1,2,0,1,2.
+	for i, want := range []int{0, 1, 2, 0, 1, 2} {
+		if got := topo.Site(stack.ProcessID(i + 1)); got != want {
+			t.Fatalf("Site(p%d) = %d, want %d", i+1, got, want)
+		}
+	}
+	// Explicit assignment wins over round-robin.
+	topo.Assign = []int{2, 2}
+	if topo.Site(1) != 2 || topo.Site(2) != 2 || topo.Site(3) != 2 {
+		t.Fatalf("explicit assignment ignored: %d %d %d",
+			topo.Site(1), topo.Site(2), topo.Site(3))
+	}
+	topo.Assign = nil
+	if !topo.SameSite(1, 4) || topo.SameSite(1, 2) {
+		t.Fatal("SameSite wrong")
+	}
+	if got := topo.SiteProcs(1, 6); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("SiteProcs(1, 6) = %v", got)
+	}
+}
+
+func TestTopologyAsymmetry(t *testing.T) {
+	p := WAN3Sites()
+	topo := p.Topology
+	// Inter-site latencies must be asymmetric (real WAN routes are), and
+	// intra-site links must be far faster than inter-site ones.
+	fwd := topo.LinkOf(1, 2).Latency
+	rev := topo.LinkOf(2, 1).Latency
+	if fwd == rev {
+		t.Fatalf("link 1->2 and 2->1 both %v; topology should be asymmetric", fwd)
+	}
+	intra := topo.LinkOf(1, 4).Latency
+	if intra*10 > fwd {
+		t.Fatalf("intra-site %v not far below inter-site %v", intra, fwd)
+	}
+}
+
+func TestLinkForFallbacks(t *testing.T) {
+	// Without a topology, LinkFor returns the uniform parameters.
+	p := Setup1()
+	l := p.LinkFor(1, 2)
+	if l.Latency != p.Latency || l.Jitter != p.Jitter || l.Bandwidth != p.Bandwidth {
+		t.Fatalf("uniform LinkFor = %+v", l)
+	}
+	// A topology link with zero bandwidth inherits the uniform bandwidth.
+	p.Bandwidth = 1e6 // clean number: tx times divide exactly
+	p.Topology = &Topology{SiteLink: [][]Link{
+		{{Latency: time.Millisecond}, {Latency: 40 * time.Millisecond}},
+		{{Latency: 44 * time.Millisecond}, {Latency: time.Millisecond}},
+	}}
+	l = p.LinkFor(1, 2)
+	if l.Latency != 40*time.Millisecond {
+		t.Fatalf("topology latency not used: %v", l.Latency)
+	}
+	if l.Bandwidth != p.Bandwidth {
+		t.Fatalf("zero-bandwidth link did not inherit uniform bandwidth: %v", l.Bandwidth)
+	}
+	if got := p.TxTimeOn(1, 2, 1000); got != p.TxTime(1000) {
+		t.Fatalf("TxTimeOn with inherited bandwidth = %v, want %v", got, p.TxTime(1000))
+	}
+	// A link with its own bandwidth uses it.
+	p.Topology.SiteLink[0][1].Bandwidth = p.Bandwidth / 2
+	if got := p.TxTimeOn(1, 2, 1000); got != 2*p.TxTime(1000) {
+		t.Fatalf("per-link bandwidth ignored: %v", got)
+	}
+}

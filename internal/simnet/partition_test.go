@@ -1,0 +1,243 @@
+package simnet
+
+// Tests of runtime fault injection (Partition/Heal) and of the per-link
+// topology path: severing semantics in both modes, composition with Crash,
+// the netmodel precedence contract (LatencyFn > Topology > uniform), and
+// determinism of partitioned runs under a fixed seed.
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/netmodel"
+	"abcast/internal/stack"
+)
+
+func TestPartitionDropSevers(t *testing.T) {
+	w := NewWorld(4, netmodel.Setup1(), 1)
+	got := make(map[stack.ProcessID]int)
+	for i := 1; i <= 4; i++ {
+		p := stack.ProcessID(i)
+		register(w, p, func(stack.ProcessID, stack.Message) { got[p]++ })
+	}
+	w.Partition(PartitionDrop, []stack.ProcessID{1, 2})
+	if !w.Partitioned(1, 3) || w.Partitioned(1, 2) || w.Partitioned(3, 4) {
+		t.Fatal("partition group membership wrong")
+	}
+	w.After(1, 0, func() {
+		send(w, 1, 2, pingMsg{size: 1}) // same group: delivered
+		send(w, 1, 3, pingMsg{size: 1}) // cross cut: dropped
+	})
+	// Processes not named in any group share the implicit extra group.
+	w.After(3, 0, func() { send(w, 3, 4, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if got[2] != 1 || got[4] != 1 {
+		t.Fatalf("intra-group deliveries = %v, want p2 and p4 reached", got)
+	}
+	if got[3] != 0 {
+		t.Fatal("cross-cut message delivered under PartitionDrop")
+	}
+	// After Heal, traffic flows again but dropped messages stay lost.
+	w.Heal()
+	w.After(1, 0, func() { send(w, 1, 3, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	if got[3] != 1 {
+		t.Fatalf("post-heal delivery count = %d, want 1 (drop mode loses cut traffic)", got[3])
+	}
+}
+
+func TestPartitionDelayReleasesAtHeal(t *testing.T) {
+	params := netmodel.Setup1()
+	params.Jitter = 0
+	w := NewWorld(2, params, 1)
+	var sizes []int
+	var times []time.Duration
+	register(w, 2, func(_ stack.ProcessID, m stack.Message) {
+		sizes = append(sizes, m.(pingMsg).size)
+		times = append(times, w.Now().Sub(time.Unix(0, 0)))
+	})
+	w.Partition(PartitionDelay, []stack.ProcessID{1})
+	w.After(1, 0, func() {
+		send(w, 1, 2, pingMsg{size: 10}) // held at the cut
+		send(w, 1, 2, pingMsg{size: 20}) // held behind it
+	})
+	w.After(1, 50*time.Millisecond, func() { w.Heal() })
+	w.RunFor(time.Second)
+	if len(sizes) != 2 || sizes[0] != 10 || sizes[1] != 20 {
+		t.Fatalf("held messages delivered as %v, want FIFO [10 20]", sizes)
+	}
+	for _, at := range times {
+		if at < 50*time.Millisecond {
+			t.Fatalf("held message delivered at %v, before the heal", at)
+		}
+	}
+}
+
+// TestPartitionComposesWithCrash: a sender that crashed with DropInFlight
+// during the partition must not have its held messages resurrected by Heal.
+func TestPartitionComposesWithCrash(t *testing.T) {
+	w := NewWorld(2, netmodel.Setup1(), 1)
+	got := 0
+	register(w, 2, func(stack.ProcessID, stack.Message) { got++ })
+	w.Partition(PartitionDelay, []stack.ProcessID{1})
+	w.After(1, 0, func() { send(w, 1, 2, pingMsg{size: 1}) })
+	w.After(2, 10*time.Millisecond, func() { w.Crash(1, DropInFlight) })
+	w.After(2, 20*time.Millisecond, func() { w.Heal() })
+	w.RunFor(time.Second)
+	if got != 0 {
+		t.Fatal("held message from a DropInFlight-crashed sender delivered at heal")
+	}
+}
+
+// TestRepartitionReevaluatesHeld: replacing the cut re-evaluates held
+// traffic against the new groups — still-severed messages stay held, the
+// rest deliver.
+func TestRepartitionReevaluatesHeld(t *testing.T) {
+	w := NewWorld(3, netmodel.Setup1(), 1)
+	got := make(map[stack.ProcessID]int)
+	for i := 2; i <= 3; i++ {
+		p := stack.ProcessID(i)
+		register(w, p, func(stack.ProcessID, stack.Message) { got[p]++ })
+	}
+	w.Partition(PartitionDelay, []stack.ProcessID{1})
+	w.After(1, 0, func() {
+		send(w, 1, 2, pingMsg{size: 1})
+		send(w, 1, 3, pingMsg{size: 1})
+	})
+	// New cut: p1 and p2 together, p3 alone.
+	w.After(1, 20*time.Millisecond, func() {
+		w.Partition(PartitionDelay, []stack.ProcessID{1, 2})
+	})
+	w.RunFor(time.Second)
+	if got[2] != 1 {
+		t.Fatal("message to p2 not released when the new cut joined p1 and p2")
+	}
+	if got[3] != 0 {
+		t.Fatal("message to p3 delivered although still severed")
+	}
+	w.Heal()
+	w.RunFor(time.Second)
+	if got[3] != 1 {
+		t.Fatal("message to p3 not released at final heal")
+	}
+}
+
+func TestTopologyLatencyPerLink(t *testing.T) {
+	params := netmodel.WAN3Sites()
+	params.Topology.SiteLink[0][1].Jitter = 0
+	params.Topology.SiteLink[0][2].Jitter = 0
+	w := NewWorld(3, params, 1) // p1..p3 on sites 0..2
+	at := make(map[stack.ProcessID]time.Duration)
+	for i := 2; i <= 3; i++ {
+		p := stack.ProcessID(i)
+		register(w, p, func(stack.ProcessID, stack.Message) {
+			at[p] = w.Now().Sub(time.Unix(0, 0))
+		})
+	}
+	w.After(1, 0, func() {
+		send(w, 1, 2, pingMsg{size: 1})
+		send(w, 1, 3, pingMsg{size: 1})
+	})
+	w.RunFor(time.Second)
+	l12 := params.Topology.SiteLink[0][1].Latency
+	l13 := params.Topology.SiteLink[0][2].Latency
+	if at[2] < l12 || at[2] > l12+time.Millisecond {
+		t.Fatalf("p2 delivery at %v, want ~%v", at[2], l12)
+	}
+	if at[3] < l13 || at[3] > l13+time.Millisecond {
+		t.Fatalf("p3 delivery at %v, want ~%v", at[3], l13)
+	}
+}
+
+// TestLatencyFnOverridesTopology pins the netmodel precedence contract:
+// LatencyFn > Topology > uniform Latency/Jitter.
+func TestLatencyFnOverridesTopology(t *testing.T) {
+	params := netmodel.WAN3Sites()
+	const forced = 3 * time.Millisecond
+	params.LatencyFn = func(from, to stack.ProcessID, env stack.Envelope) time.Duration {
+		return forced
+	}
+	w := NewWorld(3, params, 1)
+	var at time.Duration = -1
+	register(w, 3, func(stack.ProcessID, stack.Message) {
+		at = w.Now().Sub(time.Unix(0, 0))
+	})
+	w.After(1, 0, func() { send(w, 1, 3, pingMsg{size: 1}) })
+	w.RunFor(time.Second)
+	wan := params.Topology.SiteLink[0][2].Latency // 80 ms: must NOT apply
+	if at < 0 || at >= wan {
+		t.Fatalf("delivery at %v: LatencyFn did not override the topology link (%v)", at, wan)
+	}
+	if at < forced {
+		t.Fatalf("delivery at %v, below the forced latency %v", at, forced)
+	}
+}
+
+// deliveryTrace runs a fixed 3-process workload, optionally with a
+// partition episode, and returns every delivery as (receiver, time).
+func deliveryTrace(seed int64, partition bool) []string {
+	params := netmodel.WAN3Sites() // jitter active: exercises the RNG
+	w := NewWorld(3, params, seed)
+	var trace []string
+	for i := 1; i <= 3; i++ {
+		p := stack.ProcessID(i)
+		register(w, p, func(from stack.ProcessID, m stack.Message) {
+			trace = append(trace, w.Now().Sub(time.Unix(0, 0)).String()+"@"+string(rune('0'+p)))
+		})
+	}
+	for i := 1; i <= 3; i++ {
+		p := stack.ProcessID(i)
+		for s := 0; s < 10; s++ {
+			at := time.Duration(i*3+s*17) * time.Millisecond
+			w.After(p, at, func() {
+				for q := stack.ProcessID(1); q <= 3; q++ {
+					if q != p {
+						send(w, p, q, pingMsg{size: 100})
+					}
+				}
+			})
+		}
+	}
+	if partition {
+		w.After(1, 40*time.Millisecond, func() { w.Partition(PartitionDelay, []stack.ProcessID{3}) })
+		w.After(1, 120*time.Millisecond, func() { w.Heal() })
+	}
+	w.RunFor(2 * time.Second)
+	return trace
+}
+
+// TestDeterminismWithPartitions: the same seed must yield the identical
+// delivery trace, with and without a partition episode — fault injection
+// consumes no randomness and schedules through the same event queue.
+func TestDeterminismWithPartitions(t *testing.T) {
+	for _, partition := range []bool{false, true} {
+		a := deliveryTrace(42, partition)
+		b := deliveryTrace(42, partition)
+		if len(a) == 0 {
+			t.Fatalf("partition=%v: empty trace", partition)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("partition=%v: trace lengths %d vs %d", partition, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("partition=%v: trace diverges at %d: %s vs %s", partition, i, a[i], b[i])
+			}
+		}
+	}
+	// And the episode must actually change the schedule (the partition is
+	// not a no-op).
+	if len(deliveryTrace(42, false)) == len(deliveryTrace(42, true)) {
+		whole, cut := deliveryTrace(42, false), deliveryTrace(42, true)
+		same := true
+		for i := range whole {
+			if whole[i] != cut[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("partition episode did not affect the delivery trace")
+		}
+	}
+}

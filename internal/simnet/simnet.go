@@ -2,9 +2,16 @@
 //
 // A World hosts n processes. Each process has a FIFO CPU resource; each
 // ordered pair of processes is connected by a FIFO link resource. Message
-// costs come from a netmodel.Params. All processes run on a single
-// deterministic event loop, so a simulation with a fixed seed is exactly
-// reproducible.
+// costs come from a netmodel.Params — per-link when the params carry a
+// netmodel.Topology, so geo-replicated (WAN) deployments simulate with
+// asymmetric site-to-site latencies and bandwidths. All processes run on a
+// single deterministic event loop, so a simulation with a fixed seed is
+// exactly reproducible.
+//
+// Runtime fault injection: Crash stops a process; Partition/Heal sever the
+// network along group lines, either dropping cross-cut traffic
+// (PartitionDrop) or buffering it until the heal (PartitionDelay). Both
+// compose with each other and stay deterministic under the seed.
 package simnet
 
 import (
@@ -28,6 +35,16 @@ type World struct {
 	// discarded on arrival (the adversary's choice permitted by reliable
 	// channels, which only guarantee delivery between correct processes).
 	dropped map[stack.ProcessID]bool
+
+	// partGroup maps each process to its partition group while a partition
+	// is in effect (nil when the network is whole). Messages whose
+	// endpoints are in different groups are severed at their arrival
+	// instant.
+	partGroup map[stack.ProcessID]int
+	partMode  PartitionMode
+	// held buffers severed messages under PartitionDelay, in arrival
+	// order, for release at Heal.
+	held []heldMsg
 
 	// Debug enables per-process log output through Logf.
 	Debug bool
@@ -116,6 +133,90 @@ func (w *World) Crash(p stack.ProcessID, mode CrashMode) {
 	w.procs[p].crashed = true
 	if mode == DropInFlight {
 		w.dropped[p] = true
+	}
+}
+
+// PartitionMode selects what happens to messages crossing a partition cut.
+type PartitionMode int
+
+const (
+	// PartitionDrop loses cross-group messages — a routing black hole over
+	// a datagram transport. Channel reliability between correct processes
+	// is violated while the partition lasts: traffic sent across the cut is
+	// gone for good, so protocol properties that rely on reliable channels
+	// (eventual delivery on the minority side, minority catch-up) hold only
+	// for traffic sent after Heal.
+	PartitionDrop PartitionMode = iota + 1
+	// PartitionDelay holds cross-group messages at the cut and releases
+	// them, in original arrival order, when the partition heals — the
+	// behaviour of connection-oriented transports (TCP) that buffer and
+	// retransmit across an outage. Channels stay reliable, merely slow, so
+	// every protocol property is preserved across the episode and the
+	// minority side catches up at Heal.
+	PartitionDelay
+)
+
+// heldMsg is one severed message awaiting Heal under PartitionDelay.
+type heldMsg struct {
+	from, to stack.ProcessID
+	env      stack.Envelope
+	size     int
+}
+
+// Partition splits the system into the given groups: a message is severed
+// when, at its arrival instant, sender and receiver are in different groups.
+// Processes not named in any group form one implicit extra group. The call
+// composes with Crash (crash semantics are checked first) and is
+// deterministic under the simulation seed: partitions only gate arrivals,
+// they consume no randomness.
+//
+// Calling Partition while a partition is already in effect replaces the
+// cut: traffic held under PartitionDelay is re-evaluated under the new
+// groups and the new mode — no-longer-severed messages deliver immediately,
+// still-severed ones stay held if the new mode is PartitionDelay and are
+// lost if it is PartitionDrop (a Drop cut is a black hole for everything
+// crossing it, including traffic a previous Delay cut had buffered).
+func (w *World) Partition(mode PartitionMode, groups ...[]stack.ProcessID) {
+	w.partMode = mode
+	w.partGroup = make(map[stack.ProcessID]int)
+	for gi, g := range groups {
+		for _, p := range g {
+			w.partGroup[p] = gi
+		}
+	}
+	for p := stack.ProcessID(1); p <= stack.ProcessID(w.N()); p++ {
+		if _, ok := w.partGroup[p]; !ok {
+			w.partGroup[p] = len(groups)
+		}
+	}
+	w.redeliverHeld()
+}
+
+// Heal removes the partition. Messages held under PartitionDelay are
+// delivered now, in the order they originally reached the cut (per-link
+// FIFO is preserved).
+func (w *World) Heal() {
+	w.partGroup = nil
+	w.redeliverHeld()
+}
+
+// Partitioned reports whether a message from a to b would currently be
+// severed.
+func (w *World) Partitioned(a, b stack.ProcessID) bool {
+	if w.partGroup == nil {
+		return false
+	}
+	return w.partGroup[a] != w.partGroup[b]
+}
+
+// redeliverHeld re-runs arrival for all held messages; arrive re-checks the
+// (possibly new) cut, so still-severed messages are re-held and the rest
+// proceed into their destination's run queue.
+func (w *World) redeliverHeld() {
+	held := w.held
+	w.held = nil
+	for _, h := range held {
+		w.procs[h.to].arrive(h.from, h.env, h.size)
 	}
 }
 
@@ -224,8 +325,8 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 
 	// Sender CPU: serialize/enqueue.
 	_, cpuDone := p.cpu.Acquire(now, w.params.SendCost(size))
-	// Link: FIFO transmission at link bandwidth.
-	_, txDone := w.link(p.id, to).Acquire(cpuDone, w.params.TxTime(size))
+	// Link: FIFO transmission at (per-link, if a topology is set) bandwidth.
+	_, txDone := w.link(p.id, to).Acquire(cpuDone, w.params.TxTimeOn(p.id, to, size))
 	// Propagation delay.
 	lat := w.latency(p.id, to, env)
 	arrival := txDone.Add(lat)
@@ -235,13 +336,16 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 	w.eng.At(arrival, func() { dst.arrive(from, env, size) })
 }
 
-// latency computes the propagation delay for one message.
+// latency computes the propagation delay for one message, following the
+// netmodel precedence contract: LatencyFn > Topology link > uniform
+// Latency+Jitter.
 func (w *World) latency(from, to stack.ProcessID, env stack.Envelope) time.Duration {
 	if w.params.LatencyFn != nil {
 		return w.params.LatencyFn(from, to, env)
 	}
-	lat := w.params.Latency
-	if j := w.params.Jitter; j > 0 {
+	link := w.params.LinkFor(from, to)
+	lat := link.Latency
+	if j := link.Jitter; j > 0 {
 		lat += time.Duration(w.eng.Rand().Int63n(int64(2*j))) - j
 		if lat < 0 {
 			lat = 0
@@ -255,6 +359,12 @@ func (w *World) latency(from, to stack.ProcessID, env stack.Envelope) time.Durat
 func (p *Proc) arrive(from stack.ProcessID, env stack.Envelope, size int) {
 	w := p.world
 	if p.crashed || w.dropped[from] {
+		return
+	}
+	if w.Partitioned(from, p.id) {
+		if w.partMode == PartitionDelay {
+			w.held = append(w.held, heldMsg{from: from, to: p.id, env: env, size: size})
+		}
 		return
 	}
 	p.exec(w.params.RecvCost(size), func() {

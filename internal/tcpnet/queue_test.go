@@ -1,0 +1,182 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue()
+	var got []int
+	for i := 1; i <= 5; i++ {
+		i := i
+		q.put(func() { got = append(got, i) })
+	}
+	stop := make(chan struct{})
+	for i := 0; i < 5; i++ {
+		fn, ok := q.get(stop)
+		if !ok {
+			t.Fatalf("get %d returned !ok with items pending", i)
+		}
+		fn()
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("queue not FIFO: %v", got)
+		}
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	q := newQueue()
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		fn, ok := q.get(stop)
+		if !ok {
+			done <- -1
+			return
+		}
+		fn()
+		done <- 1
+	}()
+	select {
+	case <-done:
+		t.Fatal("get returned before any put")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.put(func() {})
+	select {
+	case v := <-done:
+		if v != 1 {
+			t.Fatal("get unblocked by stop, not by the put")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("get never observed the put")
+	}
+}
+
+func TestQueueGetUnblocksOnStop(t *testing.T) {
+	q := newQueue()
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.get(stop)
+		done <- ok
+	}()
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("get returned an item after stop")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("get did not unblock on stop")
+	}
+}
+
+func TestQueueCloseDiscardsAndRejects(t *testing.T) {
+	q := newQueue()
+	q.put(func() { t.Fatal("discarded item ran") })
+	q.close()
+	q.put(func() { t.Fatal("post-close item ran") })
+	stop := make(chan struct{})
+	close(stop) // close() leaves get waiting; use stop to observe emptiness
+	if _, ok := q.get(stop); ok {
+		t.Fatal("get returned an item from a closed queue")
+	}
+}
+
+// TestQueueConcurrentPutGet drains items produced by several goroutines;
+// run under -race this also checks the locking discipline.
+func TestQueueConcurrentPutGet(t *testing.T) {
+	q := newQueue()
+	const producers, perProducer = 4, 100
+	var mu sync.Mutex
+	seen := 0
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.put(func() {
+					mu.Lock()
+					seen++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for i := 0; i < producers*perProducer; i++ {
+		fn, ok := q.get(stop)
+		if !ok {
+			t.Fatal("get failed mid-drain")
+		}
+		fn()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != producers*perProducer {
+		t.Fatalf("drained %d items, want %d", seen, producers*perProducer)
+	}
+}
+
+func TestTimerRegistryFiresAndDeregisters(t *testing.T) {
+	var tr timerRegistry
+	fired := make(chan struct{})
+	tr.schedule(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("scheduled timer never fired")
+	}
+	// The firing callback deregisters itself.
+	deadline := time.Now().Add(time.Second)
+	for {
+		tr.mu.Lock()
+		n := len(tr.timers)
+		tr.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d timers still registered after firing", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTimerRegistryCancel(t *testing.T) {
+	var tr timerRegistry
+	cancel := tr.schedule(10*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	cancel()
+	cancel() // idempotent
+	tr.mu.Lock()
+	n := len(tr.timers)
+	tr.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d timers registered after cancel", n)
+	}
+	time.Sleep(30 * time.Millisecond)
+}
+
+func TestTimerRegistryStopAll(t *testing.T) {
+	var tr timerRegistry
+	for i := 0; i < 3; i++ {
+		tr.schedule(10*time.Millisecond, func() { t.Error("stopped timer fired") })
+	}
+	tr.stopAll()
+	time.Sleep(30 * time.Millisecond)
+	// stopAll resets the registry; scheduling afterwards still works.
+	fired := make(chan struct{})
+	tr.schedule(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("timer scheduled after stopAll never fired")
+	}
+}

@@ -36,6 +36,7 @@ func Register() {
 		gob.Register(consensus.MREchoMsg{})
 		gob.Register(consensus.DecideMsg{})
 		gob.Register(consensus.OpenMsg{})
+		gob.Register(consensus.PiggyMsg{})
 		// Consensus values.
 		gob.Register(core.IDSetValue{})
 		gob.Register(core.MsgSetValue{})
