@@ -120,6 +120,17 @@ type Options struct {
 	// (0 = unlimited). See core.Config.MaxBatch; mainly useful together
 	// with Pipeline, which multiplies the resulting throughput ceiling.
 	MaxBatch int
+	// Recovery enables the drop-partition recovery subsystem on every
+	// process: a sequencing, retransmitting link layer with periodic
+	// anti-entropy beneath the protocol stack, a consensus decide-relay
+	// that catches up peers which missed decisions, and payload fetch for
+	// ordered-but-never-received messages. The in-memory transport never
+	// loses messages on its own, so this matters when the cluster's
+	// processes face lossy conditions (and it is the configuration the
+	// simulator's drop-mode partition figures validate — see abench -fig
+	// g3). It costs a sequencing header per message plus periodic digest
+	// traffic while streams have unacknowledged data.
+	Recovery bool
 	// Seed makes jitter and protocol tie-breaking deterministic.
 	Seed int64
 	// OnDeliver, if set, is called for every delivery, on the delivering
@@ -201,12 +212,17 @@ func New(n int, opts Options) (*Cluster, error) {
 			defer wg.Done()
 			node := net.Node(stack.ProcessID(i))
 			c.dets[i] = fd.NewHeartbeat(node, hb)
+			var rcfg *core.RecoverConfig
+			if opts.Recovery {
+				rcfg = &core.RecoverConfig{}
+			}
 			eng, err := core.New(node, core.Config{
 				Variant:  variant,
 				RB:       rbKind,
 				Detector: c.dets[i],
 				Pipeline: opts.Pipeline,
 				MaxBatch: opts.MaxBatch,
+				Recover:  rcfg,
 				Deliver: func(app *msg.App) {
 					d := Delivery{
 						Sender:  int(app.ID.Sender),

@@ -11,6 +11,7 @@
 //	abench -fig p1 -json            # machine-readable results on stdout
 //	abench -fig 7a -topo wan3       # re-run a figure on the 3-site WAN
 //	abench -fig g1 -partition 0.4s:1.1s:3   # cut p3 off for 0.7 s
+//	abench -fig g2 -partition 0.4s:1.1s:3:drop -recover  # black-hole cut, recovery on
 //
 // Output is one table per figure: rows are x-axis values, columns the mean
 // atomic broadcast latency of each stack (delivered msg/s for
@@ -26,7 +27,10 @@
 // pipeline, wan3) instead of the figure's own; -partition from:until:procs
 // injects a partition episode (delay semantics; append ":drop" for
 // black-hole semantics) cutting the comma-separated process list off
-// between the two virtual instants.
+// between the two virtual instants; -recover enables the recovery subsystem
+// (retransmission + anti-entropy + decide-relay + payload fetch) on every
+// process, which makes drop-mode episodes survivable — figure g3 is the
+// built-in comparison.
 package main
 
 import (
@@ -58,6 +62,7 @@ func run(out io.Writer, args []string) error {
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 		topo      = fs.String("topo", "", "network model override: setup1, setup2, pipeline, wan3")
 		partition = fs.String("partition", "", "partition episode override: from:until:p,q[,...][:drop] (e.g. 0.4s:1.1s:3)")
+		recover   = fs.Bool("recover", false, "enable the recovery subsystem (retransmission, decide-relay, payload fetch) on every figure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +77,7 @@ func run(out io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
 	}
-	override, err := buildOverride(*topo, *partition)
+	override, err := buildOverride(*topo, *partition, *recover)
 	if err != nil {
 		return err
 	}
@@ -108,10 +113,13 @@ func run(out io.Writer, args []string) error {
 	return nil
 }
 
-// buildOverride turns the -topo and -partition flags into an experiment
-// post-processor (nil when neither flag is set).
-func buildOverride(topo, partition string) (func(*bench.Experiment), error) {
+// buildOverride turns the -topo, -partition and -recover flags into an
+// experiment post-processor (nil when no flag is set).
+func buildOverride(topo, partition string, recover bool) (func(*bench.Experiment), error) {
 	var steps []func(*bench.Experiment)
+	if recover {
+		steps = append(steps, func(e *bench.Experiment) { e.Recovery = true })
+	}
 	if topo != "" {
 		params, err := bench.NamedParams(topo)
 		if err != nil {

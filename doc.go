@@ -55,9 +55,50 @@
 // episode) quantify the scenario: `abench -fig g1,g2`, with -topo and
 // -partition available to impose a topology or an episode on any figure.
 //
+// # Recovery: surviving lossy links
+//
+// The paper's model assumes quasi-reliable channels, so a drop-mode
+// partition steps outside it: traffic black-holed at the cut is gone, and
+// once the original DecideMsgs and payload diffusions are lost, the minority
+// side of a healed cut would stay behind forever. Options.Recovery (engine
+// side: core.Config.Recover) installs the recovery subsystem that restores
+// the channel assumption end to end:
+//
+//   - a reliable-link layer (internal/relink) that sequence-numbers every
+//     remote send, keeps a bounded per-peer retransmission buffer, and runs
+//     periodic anti-entropy (receiver digests, sender probes) to find and
+//     repair gaps — with an eviction watermark so bounded buffers degrade
+//     to give-ups instead of infinite NACKs;
+//   - a consensus decide-relay: decisions outlive pruning in a bounded log,
+//     and peers whose stale traffic or explicit sync requests reveal them
+//     as behind are re-sent the decisions they missed;
+//   - engine-level payload repair: ordered identifiers whose message never
+//     arrived are fetched from a peer by identifier (No loss guarantees a
+//     holder exists), and messages stuck unordered too long are
+//     re-diffused, since the reliable broadcasts relay only on first
+//     receipt.
+//
+// The partition-mode guarantee matrix, pinned by the property tests in
+// internal/core/partition_test.go:
+//
+//	mode     recovery   during the cut                after the heal
+//	delay    off/on     majority progresses; safety   full delivery everywhere
+//	         (any)      (total order, No loss) holds  (channels were never lost)
+//	drop     off        majority progresses; safety   minority may stay behind
+//	                    holds                         forever (documented gap)
+//	drop     on         majority progresses; safety   full delivery everywhere —
+//	                    holds                         drop behaves like delay
+//
+// Figure g3 (`abench -fig g3`) shows the delivered-rate flatline without
+// recovery and the post-heal catch-up with it, including with buffers so
+// small that only the decide-relay/fetch path (not raw replay) can finish
+// the job; `abench -recover` imposes the subsystem on any figure.
+//
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
 // reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1
-// engine, a deterministic discrete-event simulator, and the benchmark
-// harness that regenerates every figure of the paper (cmd/abench).
+// engine, the recovery stack above, a deterministic discrete-event
+// simulator, and the benchmark harness that regenerates every figure of the
+// paper (cmd/abench). docs/ARCHITECTURE.md has the full layer map and a
+// message walk-through.
 package abcast

@@ -3,8 +3,10 @@
 // listeners, gob-encoded envelopes, heartbeat failure detection.
 //
 // In a real deployment each peer would be its own OS process on its own
-// machine (pass -peer and -addrs); run without flags to host all three
-// peers in one process for a self-contained demo.
+// machine; this demo hosts all three peers in one process (each with its
+// own listener and real loopback connections) so it is self-contained and
+// needs no flags. Splitting it across machines means running one Peer per
+// host and passing the full address map to Start — see internal/tcpnet.
 //
 //	go run ./examples/tcpgroup
 package main

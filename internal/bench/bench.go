@@ -20,6 +20,7 @@ import (
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
 	"abcast/internal/rbcast"
+	"abcast/internal/relink"
 	"abcast/internal/sim"
 	"abcast/internal/simnet"
 	"abcast/internal/stack"
@@ -61,6 +62,16 @@ type Experiment struct {
 	PartitionUntil    time.Duration
 	PartitionMinority []int
 	PartitionDrop     bool
+
+	// Recovery enables the drop-partition recovery subsystem on every
+	// process (core.RecoverConfig: relink retransmission + anti-entropy,
+	// consensus decide-relay, payload fetch). Off by default, so the
+	// paper's figures measure the unmodified stack.
+	Recovery bool
+	// RecoveryBuffer overrides the per-peer retransmission buffer capacity
+	// (0 = relink default). Small values force eviction during a partition
+	// and exercise the decide-relay/fetch path instead of pure replay.
+	RecoveryBuffer int
 
 	// MaxVirtual caps the simulated time after the last send; messages
 	// undelivered by then (saturation) still count into the mean with
@@ -121,6 +132,12 @@ func Run(e Experiment) (Result, error) {
 		deliveredAt[i] = make(map[msg.ID]time.Duration, total)
 		node := w.Node(stack.ProcessID(i))
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
+		var rcfg *core.RecoverConfig
+		if e.Recovery {
+			rcfg = &core.RecoverConfig{
+				Link: relink.Config{BufferCap: e.RecoveryBuffer},
+			}
+		}
 		eng, err := core.New(node, core.Config{
 			Variant:      e.Variant,
 			RB:           e.RB,
@@ -128,6 +145,7 @@ func Run(e Experiment) (Result, error) {
 			RcvCheckCost: e.Params.RcvCheckPerID,
 			MaxBatch:     e.MaxBatch,
 			Pipeline:     e.Pipeline,
+			Recover:      rcfg,
 			Deliver: func(app *msg.App) {
 				deliveredAt[i][app.ID] = virt(w)
 			},

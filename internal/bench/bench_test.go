@@ -123,19 +123,32 @@ func TestFiguresComplete(t *testing.T) {
 		"s1", "p1",
 		"6a", "6b", "6c",
 		"7a", "7b",
-		"g1", "g2",
+		"g1", "g2", "g3",
 	}
+	// Most figures compare two stacks over ≥4 x values; g3 is the recovery
+	// comparison (off / on / on-with-tiny-buffers) over the three pipeline
+	// widths that matter.
+	wantStacks := map[string]int{"g3": 3}
+	minPoints := map[string]int{"g3": 3}
 	for _, id := range want {
 		spec, ok := figs[id]
 		if !ok {
 			t.Errorf("figure %s missing", id)
 			continue
 		}
-		if len(spec.Xs) < 4 {
+		points := 4
+		if p, ok := minPoints[id]; ok {
+			points = p
+		}
+		if len(spec.Xs) < points {
 			t.Errorf("figure %s has only %d points", id, len(spec.Xs))
 		}
-		if len(spec.Stacks) != 2 {
-			t.Errorf("figure %s has %d stacks, want 2", id, len(spec.Stacks))
+		stacks := 2
+		if s, ok := wantStacks[id]; ok {
+			stacks = s
+		}
+		if len(spec.Stacks) != stacks {
+			t.Errorf("figure %s has %d stacks, want %d", id, len(spec.Stacks), stacks)
 		}
 		if spec.Build == nil {
 			t.Errorf("figure %s has no builder", id)

@@ -22,6 +22,11 @@ type StackSpec struct {
 	// window is not a curve property: the p1 ablation sweeps it on the x
 	// axis instead.
 	MaxBatch int
+	// Recovery/RecoveryBuffer enable the drop-partition recovery subsystem
+	// for this curve (figure g3 compares recovery off, on, and on with
+	// tiny buffers that force the decide-relay path).
+	Recovery       bool
+	RecoveryBuffer int
 }
 
 // Metric selects what a figure's cells report.
@@ -414,6 +419,55 @@ func Figures() map[string]FigureSpec {
 				PartitionUntil:    1100 * time.Millisecond,
 				PartitionMinority: []int{3},
 				MaxVirtual:        90 * time.Second,
+			}
+		},
+	})
+	// Extension: figure g3 is the drop-mode counterpart of g2 — the same
+	// WAN partition-and-heal episode, but as a black hole (drop semantics)
+	// instead of TCP-like buffering. Without recovery the minority site
+	// never catches up: messages sent across the cut are gone, the
+	// minority misses decisions and payloads for good, and the
+	// delivered-everywhere rate flatlines (points stay saturated at the
+	// horizon). With the recovery subsystem enabled (retransmission +
+	// anti-entropy + decide-relay + payload fetch) the minority reaches
+	// full delivery after the heal and the rate recovers; the tiny-buffer
+	// curve shows the same outcome when eviction has destroyed the
+	// retransmission window and only the decide-relay/fetch path remains.
+	figs = append(figs, FigureSpec{
+		ID:     "g3",
+		Title:  "EXTENSION: delivered throughput across a DROP-mode partition-and-heal (0.4-1.1 s, site of p3 black-holed), with vs without recovery, n=3 WAN, offered 120 msg/s, 100 B, IndirectCT, MaxBatch=4",
+		XLabel: "pipeline width [W]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2, 4},
+		Stacks: []StackSpec{
+			{Label: "No recovery", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4},
+			{Label: "Recovery", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Recovery: true},
+			{Label: "Recovery, 16-msg buffers", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Recovery: true, RecoveryBuffer: 16},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(120, scale)
+			return Experiment{
+				Name:              fmt.Sprintf("%s W=%.0f wan3+drop-partition", s.Label, x),
+				N:                 3,
+				Params:            netmodel.WAN3Sites(),
+				Variant:           s.Variant,
+				RB:                s.RB,
+				Throughput:        120,
+				Payload:           100,
+				Messages:          measured,
+				Warmup:            warmup,
+				Seed:              seed,
+				MaxBatch:          s.MaxBatch,
+				Pipeline:          int(x),
+				PartitionFrom:     400 * time.Millisecond,
+				PartitionUntil:    1100 * time.Millisecond,
+				PartitionMinority: []int{3},
+				PartitionDrop:     true,
+				Recovery:          s.Recovery,
+				RecoveryBuffer:    s.RecoveryBuffer,
+				// The no-recovery curve never reaches full delivery, so it
+				// always runs to the horizon; keep it short.
+				MaxVirtual: 20 * time.Second,
 			}
 		},
 	})

@@ -112,7 +112,39 @@ type Config struct {
 	// worst-case join latency added to an otherwise idle pipelined
 	// instance.
 	OpenDelay time.Duration
+	// Relay enables the decide-relay: decisions are retained in a bounded
+	// log after their instance is pruned, and a peer observed sending
+	// algorithm traffic for an already-pruned instance — the signature of a
+	// process that missed decisions, e.g. across a drop-mode partition — is
+	// sent the decisions it is missing. Without Relay (the default), stale
+	// traffic is silently dropped and a peer cut off by a black-hole
+	// partition can stay behind forever once the original DecideMsgs are
+	// lost. Part of the recovery subsystem (see internal/relink and
+	// core.RecoverConfig).
+	Relay bool
+	// DecisionLogCap bounds the relay's decision log (0 = DefaultLogCap).
+	// A peer behind by more than the log can no longer be caught up by the
+	// relay alone; the cap is the state-transfer analogue of a Raft log
+	// truncated without snapshots.
+	DecisionLogCap int
+	// RelayCooldown rate-limits relays per peer (0 = DefaultRelayCooldown):
+	// a peer's stale traffic triggers at most one relay batch per cooldown,
+	// which both bounds the cost of traffic that merely crossed a prune on
+	// the wire and paces multi-batch catch-up.
+	RelayCooldown time.Duration
 }
+
+// Relay defaults.
+const (
+	// DefaultLogCap is the default decision-log retention.
+	DefaultLogCap = 4096
+	// DefaultRelayCooldown is the default per-peer relay rate limit.
+	DefaultRelayCooldown = 50 * time.Millisecond
+	// relayBatch caps decisions sent per relay, bounding the burst a healed
+	// peer receives; its next stale message (or decide re-broadcast) after
+	// the cooldown triggers the next batch.
+	relayBatch = 64
+)
 
 // DefaultOpenDelay is the default piggyback window of Open announcements —
 // small against any consensus round trip, so pipelined instance joins are
@@ -136,6 +168,14 @@ type Service struct {
 	opensAnnounced   int
 	opensPiggybacked int
 	opensStandalone  int
+
+	// Decide-relay state (Config.Relay): the bounded decision log, the
+	// per-peer rate limiter, and a counter surfaced through RelayCount.
+	decisions  map[uint64]Value
+	decLow     uint64 // lowest retained decision (0 = log empty)
+	maxDecided uint64
+	lastRelay  map[stack.ProcessID]time.Time
+	relaysSent int
 }
 
 // NewService wires a consensus service into the node.
@@ -154,6 +194,10 @@ func NewService(node *stack.Node, cfg Config) (*Service, error) {
 		cfg:         cfg,
 		insts:       make(map[uint64]*instance),
 		pendingOpen: make(map[stack.ProcessID][]uint64),
+	}
+	if cfg.Relay {
+		s.decisions = make(map[uint64]Value)
+		s.lastRelay = make(map[stack.ProcessID]time.Time)
 	}
 	node.Register(stack.ProtoCons, stack.HandlerFunc(s.receive))
 	return s, nil
@@ -373,8 +417,19 @@ func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
 		}
 		return
 	}
+	if sr, ok := m.(SyncReqMsg); ok {
+		// An explicit relay request from a peer that knows it is behind.
+		s.maybeRelay(from, sr.From)
+		return
+	}
 	if k < s.prunedBelow {
-		return // stale traffic for a settled, pruned instance
+		// Stale traffic for a settled, pruned instance. Algorithm traffic
+		// (not a decision: those mean the sender already knows the outcome)
+		// marks the sender as behind — relay what it missed, if enabled.
+		if _, isDecide := m.(DecideMsg); !isDecide {
+			s.maybeRelay(from, k)
+		}
+		return
 	}
 	inst := s.instance(k)
 	// Decisions short-circuit everything, including the pre-propose
@@ -413,6 +468,89 @@ func (s *Service) noteOpen(k uint64) {
 	if s.cfg.OnNeed != nil {
 		s.cfg.OnNeed(k)
 	}
+}
+
+// logDecision retains a decided value for the decide-relay (no-op unless
+// Config.Relay). The log is bounded: beyond DecisionLogCap the lowest serial
+// numbers are evicted, and peers behind the floor can no longer be caught up
+// by the relay alone.
+func (s *Service) logDecision(k uint64, v Value) {
+	if s.decisions == nil {
+		return
+	}
+	if _, dup := s.decisions[k]; dup {
+		return
+	}
+	s.decisions[k] = v
+	if k > s.maxDecided {
+		s.maxDecided = k
+	}
+	if s.decLow == 0 || k < s.decLow {
+		s.decLow = k
+	}
+	limit := s.cfg.DecisionLogCap
+	if limit <= 0 {
+		limit = DefaultLogCap
+	}
+	for len(s.decisions) > limit {
+		// Evict the lowest retained serial number. Decisions arrive nearly
+		// in order, so decLow is almost always the victim directly; the
+		// scan below only runs when pipelining decided out of order.
+		if _, ok := s.decisions[s.decLow]; !ok {
+			low := uint64(0)
+			for j := range s.decisions {
+				if low == 0 || j < low {
+					low = j
+				}
+			}
+			s.decLow = low
+		}
+		delete(s.decisions, s.decLow)
+		s.decLow++
+	}
+}
+
+// maybeRelay answers stale algorithm traffic from a peer that is behind:
+// re-send it the logged decisions from its apparent position onward, rate
+// limited per peer. The relayed DecideMsgs flow through the normal decide
+// path on the receiver (settle instance, fire the upcall), so the engine
+// above consumes them exactly like first-hand decisions.
+func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
+	if s.decisions == nil || len(s.decisions) == 0 {
+		return
+	}
+	now := s.proto.Ctx().Now()
+	cooldown := s.cfg.RelayCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultRelayCooldown
+	}
+	if last, ok := s.lastRelay[q]; ok && now.Sub(last) < cooldown {
+		return
+	}
+	s.lastRelay[q] = now
+	start := k
+	if start < s.decLow {
+		start = s.decLow // best effort: older decisions are evicted
+	}
+	sent := 0
+	for j := start; j <= s.maxDecided && sent < relayBatch; j++ {
+		if v, ok := s.decisions[j]; ok {
+			s.send(q, j, DecideMsg{Est: v})
+			sent++
+		}
+	}
+	s.relaysSent += sent
+}
+
+// RelayCount reports how many decisions the decide-relay has re-sent (for
+// tests and diagnostics).
+func (s *Service) RelayCount() int { return s.relaysSent }
+
+// RequestSync asks q to relay the decisions of instances ≥ from that it
+// still has logged. Used by the engine above when it detects a hole in its
+// decision sequence that no implicit path is filling (see SyncReqMsg).
+func (s *Service) RequestSync(q stack.ProcessID, from uint64) {
+	s.proto.Send(q, from, SyncReqMsg{From: from})
 }
 
 // bufferedMsg is a message queued before the local propose.

@@ -97,6 +97,7 @@ func (in *instance) onDecide(v Value) {
 	}
 	in.decided = true
 	in.decision = v
+	in.svc.logDecision(in.k, v)
 	if in.fdCancel != nil {
 		in.fdCancel()
 		in.fdCancel = nil

@@ -85,6 +85,22 @@ type OpenMsg struct {
 // WireSize implements stack.Message.
 func (m OpenMsg) WireSize() int { return 2 + 8*len(m.Also) }
 
+// SyncReqMsg asks the receiver to relay the decisions of instances ≥ From
+// that it has in its decision log (recovery path, Config.Relay). A process
+// sends it when it can tell it is behind — it holds decisions for later
+// instances while earlier ones are missing — which happens when a drop-mode
+// partition black-holed the original DecideMsgs and eviction has emptied
+// every retransmission buffer that could have replayed them. Stale algorithm
+// traffic triggers the same relay implicitly; the explicit request covers a
+// behind process that has gone quiet (e.g. parked in a round it coordinates
+// itself, waiting for estimates that will never come).
+type SyncReqMsg struct {
+	From uint64
+}
+
+// WireSize implements stack.Message.
+func (m SyncReqMsg) WireSize() int { return 9 }
+
 // PiggyMsg decorates an algorithm message with open-instance announcements,
 // so a pipelined propose costs no standalone beacon messages when the sender
 // is already talking to the destination. The receiver processes Opens
@@ -106,4 +122,5 @@ var (
 	_ stack.Message = DecideMsg{}
 	_ stack.Message = OpenMsg{}
 	_ stack.Message = PiggyMsg{}
+	_ stack.Message = SyncReqMsg{}
 )

@@ -37,6 +37,7 @@ import (
 	"abcast/internal/fd"
 	"abcast/internal/msg"
 	"abcast/internal/rbcast"
+	"abcast/internal/relink"
 	"abcast/internal/stack"
 )
 
@@ -108,6 +109,13 @@ type Config struct {
 	// MaxBatch/instance-latency, and W concurrent instances multiply that
 	// ceiling (see the pipeline ablation in internal/bench).
 	Pipeline int
+	// Recover, when non-nil, enables the recovery subsystem — the relink
+	// reliable-link layer, the consensus decide-relay and the engine's
+	// payload fetch — which restores the model's reliable-channel
+	// assumption over lossy links: with it, correct processes reach full
+	// delivery in total order even across drop-mode (black-hole) network
+	// partitions. See RecoverConfig.
+	Recover *RecoverConfig
 	// Deliver receives adelivered messages, in total order.
 	Deliver Deliver
 	// OnDecision, if set, is invoked at the instant this process learns
@@ -142,6 +150,21 @@ type Engine struct {
 	pending  map[uint64]consensus.Value // decisions not yet consumed
 
 	maxInFlight int // high-water mark of len(inFlight), for tests/diagnostics
+
+	// Recovery state (Config.Recover): the ProtoSync sending helper, the
+	// single outstanding fetch timer, the rotating fetch target, and a
+	// fetch counter for tests.
+	sync           stack.Proto
+	link           *relink.Link
+	wanted         map[msg.ID]bool      // ids revealed by failed rcv checks, payload missing
+	unorderedSince map[msg.ID]time.Time // when each unordered id arrived (re-diffusion aging)
+	fetchArmed     bool
+	rediffArmed    bool
+	syncArmed      bool
+	fetchAttempt   int
+	syncAttempt    int
+	fetches        int
+	syncReqs       int
 }
 
 // New wires an atomic broadcast engine and all its substrate layers into
@@ -188,10 +211,20 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: unknown variant %v", cfg.Variant)
 	}
 
+	// Recovery subsystem (reliable link + payload fetch here, decide-relay
+	// via the consensus config below).
+	if cfg.Recover != nil {
+		e.initRecovery(node)
+	}
+
 	// Ordering layer.
 	ccfg := consensus.Config{
 		Detector: cfg.Detector,
 		Decide:   e.onDecide,
+	}
+	if cfg.Recover != nil {
+		ccfg.Relay = true
+		ccfg.DecisionLogCap = cfg.Recover.DecisionLogCap
 	}
 	if window > 1 {
 		// Serial operation needs no participation callback: an instance's
@@ -244,6 +277,10 @@ func (e *Engine) rcv(v consensus.Value) bool {
 	}
 	for _, id := range ids {
 		if e.received[id] == nil {
+			// A failed check names messages a peer holds but this process
+			// never received — with recovery enabled, fetch them rather
+			// than rely on a diffusion that may have been black-holed.
+			e.noteWanted(ids)
 			return false
 		}
 	}
@@ -256,8 +293,10 @@ func (e *Engine) onRDeliver(app *msg.App) {
 		return
 	}
 	e.received[app.ID] = app
+	delete(e.wanted, app.ID)
 	if !e.delivered[app.ID] && !e.inOrdered[app.ID] {
 		e.unordered.Add(app.ID)
+		e.noteUnordered(app.ID)
 	}
 	e.tryDeliver() // the head of orderedp may have been waiting for this payload
 	e.maybePropose()
@@ -385,6 +424,9 @@ func (e *Engine) onDecide(k uint64, v consensus.Value) {
 	// Consumed instances are settled locally and our decide relay is out:
 	// their consensus state can be released.
 	e.cons.PruneBelow(e.kNext)
+	// Decisions left pending mean kNext is missing here — a hole that,
+	// after a lossy episode, only an explicit sync may fill.
+	e.armSyncReq()
 	e.maybePropose()
 }
 
@@ -404,6 +446,7 @@ func (e *Engine) applyDecision(v consensus.Value) {
 	ids := idsOfValue(v)
 	for _, id := range ids {
 		e.unordered.Remove(id)
+		delete(e.unorderedSince, id)
 		if !e.delivered[id] && !e.inOrdered[id] {
 			e.ordered = append(e.ordered, id)
 			e.inOrdered[id] = true
@@ -420,7 +463,10 @@ func (e *Engine) tryDeliver() {
 		id := e.ordered[0]
 		app := e.received[id]
 		if app == nil {
-			return // head ordered but not yet received
+			// Head ordered but not yet received. With recovery enabled,
+			// arrange to fetch the payload if the stall persists.
+			e.armFetch()
+			return
 		}
 		e.ordered = e.ordered[1:]
 		delete(e.inOrdered, id)

@@ -15,10 +15,14 @@ package core
 //   - PartitionDrop (black hole) violates the quasi-reliable channel
 //     assumption while the cut lasts: safety (total order, No loss) is
 //     untouched, and the majority still progresses and delivers everything
-//     it originated, but the minority side may stay behind for good —
-//     decide relays it missed are not retransmitted. Recovering from drop
-//     partitions needs a retransmitting transport, which is what
-//     PartitionDelay models.
+//     it originated, but — without the recovery subsystem — the minority
+//     side may stay behind for good, because the decide relays it missed
+//     are never retransmitted.
+//   - PartitionDrop with Config.Recover set restores the full contract:
+//     the relink layer retransmits what its buffers still hold, and the
+//     decide-relay, sync requests, payload fetch and re-diffusion repair
+//     what eviction destroyed — so drop-mode episodes end in full delivery
+//     everywhere, exactly like delay-mode ones.
 
 import (
 	"fmt"
@@ -29,19 +33,21 @@ import (
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
 	"abcast/internal/rbcast"
+	"abcast/internal/relink"
 	"abcast/internal/simnet"
 	"abcast/internal/stack"
 )
 
 // partitionRun drives one randomized minority-partition episode and returns
 // the cluster plus the majority deliveries observed at cut and heal time.
-func partitionRun(t *testing.T, seed int64, minoritySize int, mode simnet.PartitionMode, pipeline bool) (c *cluster, sent []msg.ID, majoritySent []msg.ID, atCut, atHeal int) {
+func partitionRun(t *testing.T, seed int64, minoritySize int, mode simnet.PartitionMode, pipeline bool, extra ...func(*Config)) (c *cluster, sent []msg.ID, majoritySent []msg.ID, atCut, atHeal int) {
 	t.Helper()
 	const n = 5
 	var mutate []func(*Config)
 	if pipeline {
 		mutate = append(mutate, pipelined(3, 2))
 	}
+	mutate = append(mutate, extra...)
 	// No loss at every decision instant: nobody crashes in these runs, so
 	// every process counts as correct and at least one holder must exist.
 	var violations []string
@@ -161,6 +167,74 @@ func TestPartitionDropKeepsSafety(t *testing.T) {
 			if atHeal <= atCut {
 				t.Fatalf("majority made no progress during the partition: %d -> %d deliveries",
 					atCut, atHeal)
+			}
+		})
+	}
+}
+
+// TestPartitionDropRecoveryCatchesUp: with the recovery subsystem enabled,
+// a drop-mode (black-hole) minority partition plus heal must end exactly
+// like a delay-mode one — every atomic broadcast property intact, *full*
+// delivery at every process including the former minority, and majority
+// progress during the cut. Two regimes are pinned:
+//
+//   - "replay": ample retransmission buffers — the relink layer alone
+//     replays everything the cut black-holed, and must actually have
+//     retransmitted something.
+//   - "relay": 8-entry buffers — eviction destroys most of the replay
+//     window, forcing the semantic repair paths (consensus decide-relay /
+//     sync requests, payload fetch, unordered re-diffusion) to finish the
+//     job; the run must show both evictions and relayed decisions or sync
+//     requests, or the regime did not exercise what it claims to.
+func TestPartitionDropRecoveryCatchesUp(t *testing.T) {
+	cases := []struct {
+		name string
+		link relink.Config
+	}{
+		{"replay", relink.Config{}},
+		{"relay", relink.Config{BufferCap: 8}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				pipeline := seed%2 == 0
+				t.Run(fmt.Sprintf("seed=%d/pipeline=%v", seed, pipeline), func(t *testing.T) {
+					recover := func(cfg *Config) {
+						cfg.Recover = &RecoverConfig{Link: tc.link}
+					}
+					c, sent, _, atCut, atHeal := partitionRun(t, seed, 2, simnet.PartitionDrop, pipeline, recover)
+					all := procs(1, 2, 3, 4, 5)
+					c.checkTotalOrder(t, all)
+					c.checkIntegrity(t, all)
+					// The headline: full delivery everywhere despite the
+					// black hole — drop-mode is survivable with recovery.
+					c.checkDelivers(t, all, sent)
+					if atHeal <= atCut {
+						t.Fatalf("majority made no progress during the partition: %d -> %d deliveries",
+							atCut, atHeal)
+					}
+					var retrans, evicted int64
+					relays, syncs := 0, 0
+					for p := 1; p <= 5; p++ {
+						st := c.engines[p].LinkStats()
+						retrans += st.Retransmitted
+						evicted += st.Evicted
+						relays += c.engines[p].cons.RelayCount()
+						syncs += c.engines[p].syncReqs
+					}
+					if retrans == 0 {
+						t.Fatalf("no link-layer retransmissions across a drop cut")
+					}
+					if tc.name == "relay" {
+						if evicted == 0 {
+							t.Fatalf("tiny buffers saw no evictions; regime not exercised")
+						}
+						if relays == 0 && syncs == 0 {
+							t.Fatalf("eviction regime recovered without decide-relay or sync requests")
+						}
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,341 @@
+package core
+
+// Recovery: the engine-level half of the drop-partition recovery subsystem.
+//
+// internal/relink repairs lost *envelopes* within its bounded retransmission
+// window, and the consensus decide-relay replays lost *decisions*. What
+// remains is the payload gap, which shows up in two directions:
+//
+//   - Ordered but never received: a process learns (via a relayed decision)
+//     that an identifier is ordered while the diffusion broadcast that
+//     carried the message was black-holed and evicted from every
+//     retransmission buffer. Algorithm 1 then blocks at the head of the
+//     ordered sequence. The paper's No loss property guarantees some correct
+//     process still holds the message.
+//   - Proposed but never diffused: a healed process proposes identifiers of
+//     messages only its side of the former cut ever received. The indirect
+//     algorithms correctly refuse to order them (rcv fails at the other
+//     side), and the eager/lazy diffusion broadcasts relay only on first
+//     receipt — so without repair the messages would stay unordered forever
+//     and Validity-style full delivery would never be reached.
+//
+// Both directions resolve the same way: the engine notes the identifiers it
+// is missing (the blocked head of the ordered queue, and every identifier a
+// failed rcv check reveals), and past FetchDelay asks a peer for them by
+// identifier (FetchMsg); the peer answers with the messages it holds
+// (SupplyMsg). Supplied messages enter through the normal R-deliver path, so
+// integrity, ordering and re-proposal are untouched.
+
+import (
+	"sort"
+	"time"
+
+	"abcast/internal/msg"
+	"abcast/internal/relink"
+	"abcast/internal/stack"
+)
+
+// RecoverConfig enables and tunes the recovery subsystem. Wiring it into a
+// Config turns on all three repair layers for the process:
+//
+//   - the relink reliable-link layer (sequencing, bounded retransmission,
+//     anti-entropy) under every protocol of the stack;
+//   - the consensus decide-relay (consensus.Config.Relay), so peers that
+//     missed pruned decisions are caught up on demand;
+//   - the engine's payload fetch, so ordered-but-never-received messages are
+//     pulled from a peer that holds them.
+//
+// With recovery enabled, a drop-mode (black-hole) partition behaves like a
+// delay-mode one at the model level: after the heal, every correct process
+// reaches full delivery in total order. See docs/ARCHITECTURE.md.
+type RecoverConfig struct {
+	// Link tunes the reliable-link layer (zero values = relink defaults).
+	Link relink.Config
+	// FetchDelay is how long the engine stays blocked on a missing payload
+	// before fetching it from a peer, and the retry cadence thereafter
+	// (0 = DefaultFetchDelay). It should comfortably exceed normal
+	// diffusion latency so fetches fire only on genuine loss.
+	FetchDelay time.Duration
+	// DecisionLogCap bounds the consensus decide-relay's decision log
+	// (0 = consensus.DefaultLogCap).
+	DecisionLogCap int
+	// RediffuseDelay is how long a received message may sit unordered
+	// before this process re-R-broadcasts it (0 = DefaultRediffuseDelay).
+	// The reliable broadcasts relay only on first receipt, so a message
+	// whose relays were black-holed and evicted is otherwise never offered
+	// to the other side again — and an identifier nobody else holds the
+	// message for is never ordered (the round-1 coordinator only proposes
+	// its own estimate, so Validity rides on diffusion completing).
+	RediffuseDelay time.Duration
+}
+
+// DefaultFetchDelay is the default blocked-head fetch delay: far above any
+// LAN/WAN diffusion latency, so it only fires on genuine loss.
+const DefaultFetchDelay = 100 * time.Millisecond
+
+// DefaultRediffuseDelay is the default unordered-too-long re-diffusion
+// delay. Ordering normally completes within a couple of consensus round
+// trips, so only messages stranded by loss are re-offered.
+const DefaultRediffuseDelay = 400 * time.Millisecond
+
+// rediffuseBatch caps re-diffusions per tick, bounding the post-heal burst.
+const rediffuseBatch = 64
+
+// fetchBatch caps identifiers per FetchMsg (and so messages per SupplyMsg
+// reply), bounding the burst while a long backlog is repaired; the engine
+// re-fetches until unblocked.
+const fetchBatch = 256
+
+// FetchMsg asks a peer for the messages with the given identifiers
+// (recovery path; stack.ProtoSync).
+type FetchMsg struct {
+	IDs []msg.ID
+}
+
+// WireSize implements stack.Message.
+func (m FetchMsg) WireSize() int { return 2 + len(m.IDs)*msg.IDWireBytes }
+
+// SupplyMsg answers a FetchMsg with the requested messages the sender
+// holds.
+type SupplyMsg struct {
+	Apps []*msg.App
+}
+
+// WireSize implements stack.Message.
+func (m SupplyMsg) WireSize() int {
+	size := 2
+	for _, a := range m.Apps {
+		size += a.WireSize()
+	}
+	return size
+}
+
+// initRecovery wires the recovery subsystem into the engine (called from New
+// when cfg.Recover is set; the consensus-relay half is configured there).
+func (e *Engine) initRecovery(node *stack.Node) {
+	e.link = relink.New(node, e.cfg.Recover.Link)
+	e.sync = node.Proto(stack.ProtoSync)
+	node.Register(stack.ProtoSync, stack.HandlerFunc(e.onSync))
+}
+
+// LinkStats reports the reliable-link layer's counters (zero value when
+// recovery is disabled). For tests and diagnostics.
+func (e *Engine) LinkStats() relink.Stats {
+	if e.link == nil {
+		return relink.Stats{}
+	}
+	return e.link.Stats()
+}
+
+// fetchDelay returns the configured blocked-head fetch delay.
+func (e *Engine) fetchDelay() time.Duration {
+	if d := e.cfg.Recover.FetchDelay; d > 0 {
+		return d
+	}
+	return DefaultFetchDelay
+}
+
+// noteWanted records identifiers a failed rcv check revealed as proposed by
+// some peer but never received here, and arranges to fetch them. No-op
+// unless recovery is enabled.
+func (e *Engine) noteWanted(ids []msg.ID) {
+	if e.cfg.Recover == nil {
+		return
+	}
+	for _, id := range ids {
+		if e.received[id] == nil {
+			if e.wanted == nil {
+				e.wanted = make(map[msg.ID]bool)
+			}
+			e.wanted[id] = true
+		}
+	}
+	e.armFetch()
+}
+
+// needsFetch reports whether any payload is known missing: the ordered
+// queue's head (delivery is blocked) or an identifier seen in a proposal.
+func (e *Engine) needsFetch() bool {
+	return e.Blocked() || len(e.wanted) > 0
+}
+
+// armFetch schedules a payload fetch if one is warranted and none is
+// pending. Called whenever delivery stalls (tryDeliver) or a rcv check
+// fails — harmless noise in healthy runs, because the timer re-checks
+// before sending and diffusion normally wins the race.
+func (e *Engine) armFetch() {
+	if e.cfg.Recover == nil || e.fetchArmed || e.ctx.N() < 2 || !e.needsFetch() {
+		return
+	}
+	e.fetchArmed = true
+	e.ctx.SetTimer(e.fetchDelay(), e.fetchTick)
+}
+
+// fetchTick fires after FetchDelay of unresolved loss: request the missing
+// payloads from one peer, rotating the target each attempt so a crashed or
+// equally-behind peer cannot starve recovery.
+func (e *Engine) fetchTick() {
+	e.fetchArmed = false
+	if !e.needsFetch() {
+		return
+	}
+	missing := make([]msg.ID, 0, fetchBatch)
+	seen := make(map[msg.ID]bool, fetchBatch)
+	for _, id := range e.ordered {
+		if len(missing) == fetchBatch {
+			break
+		}
+		if e.received[id] == nil && !seen[id] {
+			missing = append(missing, id)
+			seen[id] = true
+		}
+	}
+	for id := range e.wanted {
+		if len(missing) == fetchBatch {
+			break
+		}
+		if e.received[id] != nil {
+			delete(e.wanted, id) // resolved by diffusion in the meantime
+			continue
+		}
+		if !seen[id] {
+			missing = append(missing, id)
+			seen[id] = true
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Canonical order: map iteration added wanted ids randomly.
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Less(missing[j]) })
+	q := e.nextPeer(e.fetchAttempt)
+	e.fetchAttempt++
+	e.fetches++
+	e.sync.Send(q, 0, FetchMsg{IDs: missing})
+	e.armFetch() // stay armed until nothing is missing
+}
+
+// nextPeer returns the attempt-th repair target: the other processes in
+// rotation, never self. Both repair paths (payload fetch, decision sync)
+// share it so a change to target selection cannot silently diverge.
+func (e *Engine) nextPeer(attempt int) stack.ProcessID {
+	n := e.ctx.N()
+	self := int(e.ctx.ID())
+	return stack.ProcessID((self+attempt%(n-1))%n + 1)
+}
+
+// armSyncReq schedules a decision-sync request: the engine holds decisions
+// for later instances while earlier ones are missing (e.pending non-empty
+// means kNext itself is undecided here), which after a black-holed partition
+// may never resolve on its own — the original DecideMsgs are lost and a
+// behind process can be parked in a round it coordinates itself, emitting no
+// stale traffic for the implicit relay to react to.
+func (e *Engine) armSyncReq() {
+	if e.cfg.Recover == nil || e.syncArmed || e.ctx.N() < 2 || len(e.pending) == 0 {
+		return
+	}
+	e.syncArmed = true
+	e.ctx.SetTimer(e.fetchDelay(), e.syncTick)
+}
+
+// syncTick requests the missing decisions from one peer, rotating the
+// target each attempt, and re-arms while the hole persists. In healthy runs
+// the hole closes within a round trip and the timer finds nothing to do.
+func (e *Engine) syncTick() {
+	e.syncArmed = false
+	if len(e.pending) == 0 {
+		return
+	}
+	q := e.nextPeer(e.syncAttempt)
+	e.syncAttempt++
+	e.syncReqs++
+	e.cons.RequestSync(q, e.kNext)
+	e.armSyncReq()
+}
+
+// rediffuseDelay returns the configured unordered re-diffusion delay.
+func (e *Engine) rediffuseDelay() time.Duration {
+	if d := e.cfg.Recover.RediffuseDelay; d > 0 {
+		return d
+	}
+	return DefaultRediffuseDelay
+}
+
+// noteUnordered timestamps an identifier's entry into the unordered set and
+// arms the re-diffusion check. No-op unless recovery is enabled.
+func (e *Engine) noteUnordered(id msg.ID) {
+	if e.cfg.Recover == nil {
+		return
+	}
+	if e.unorderedSince == nil {
+		e.unorderedSince = make(map[msg.ID]time.Time)
+	}
+	e.unorderedSince[id] = e.ctx.Now()
+	e.armRediffuse()
+}
+
+// armRediffuse schedules the next unordered-age check if one is warranted.
+func (e *Engine) armRediffuse() {
+	if e.cfg.Recover == nil || e.rediffArmed || e.ctx.N() < 2 || e.unordered.Empty() {
+		return
+	}
+	e.rediffArmed = true
+	e.ctx.SetTimer(e.rediffuseDelay(), e.rediffuseTick)
+}
+
+// rediffuseTick re-R-broadcasts messages that have sat unordered for at
+// least RediffuseDelay, then re-arms while unordered identifiers remain.
+// Scanning in canonical identifier order keeps the simulation
+// deterministic.
+func (e *Engine) rediffuseTick() {
+	e.rediffArmed = false
+	if e.unordered.Empty() {
+		return
+	}
+	now := e.ctx.Now()
+	delay := e.rediffuseDelay()
+	sent := 0
+	for _, id := range e.unordered.IDs() {
+		if sent == rediffuseBatch {
+			break
+		}
+		since, ok := e.unorderedSince[id]
+		if !ok || now.Sub(since) < delay {
+			continue
+		}
+		if app := e.received[id]; app != nil {
+			e.rb.Rebroadcast(app)
+			e.unorderedSince[id] = now // next offer no sooner than +delay
+			sent++
+		}
+	}
+	e.armRediffuse()
+}
+
+// onSync handles recovery fetch/supply traffic (stack.ProtoSync).
+func (e *Engine) onSync(from stack.ProcessID, _ uint64, m stack.Message) {
+	switch mm := m.(type) {
+	case FetchMsg:
+		apps := make([]*msg.App, 0, len(mm.IDs))
+		for _, id := range mm.IDs {
+			if a := e.received[id]; a != nil {
+				apps = append(apps, a)
+			}
+		}
+		if len(apps) > 0 {
+			e.sync.Send(from, 0, SupplyMsg{Apps: apps})
+		}
+	case SupplyMsg:
+		// Supplied messages enter through the normal R-deliver path:
+		// deduplication, head delivery and re-proposal all behave exactly
+		// as if the diffusion broadcast had finally arrived.
+		for _, a := range mm.Apps {
+			e.onRDeliver(a)
+		}
+	}
+}
+
+var (
+	_ stack.Message = FetchMsg{}
+	_ stack.Message = SupplyMsg{}
+)

@@ -1,10 +1,17 @@
-// Package msg defines application messages and message identifiers.
+// Package msg defines application messages and message identifiers — the
+// paper's id(m) and msgs(-) constructs (Section 2.1).
 //
 // Every atomically-broadcast message m carries a unique identifier id(m),
 // the pair (sender, per-sender sequence number). The relationship between
 // messages and identifiers is bijective, which is the property the paper's
 // reduction relies on to infer a delivery order of messages from an ordered
 // sequence of identifiers.
+//
+// IDSet is the value type indirect consensus decides on: deterministic
+// canonical order (Algorithm 1 line 20 needs one), cheap set algebra for
+// the engine's unordered/ordered bookkeeping, and a wire footprint that
+// depends only on the number of identifiers — the decoupling of consensus
+// cost from payload size that motivates the whole approach.
 package msg
 
 import (

@@ -33,6 +33,15 @@ type Broadcaster interface {
 	// Broadcast R-broadcasts (or uniform-R-broadcasts) the message to all
 	// processes, including the sender.
 	Broadcast(app *msg.App)
+	// Rebroadcast re-diffuses an already-delivered message to the other
+	// processes. The reliable broadcasts relay only on *first* receipt, so
+	// their Agreement property is spent once the relays have been sent: if
+	// those sends were black-holed (drop-mode partition) and evicted from
+	// every retransmission buffer, no layer would ever offer the message
+	// again. The recovery subsystem calls this for messages stuck
+	// unordered too long; receivers that already hold the message drop the
+	// duplicate, so delivery stays at-most-once.
+	Rebroadcast(app *msg.App)
 }
 
 // Kind selects a broadcast algorithm.
@@ -107,6 +116,12 @@ func (e *Eager) Broadcast(app *msg.App) {
 	e.deliver(app)
 }
 
+// Rebroadcast implements Broadcaster: re-send the data message to the other
+// processes (no local re-delivery; receivers dedupe).
+func (e *Eager) Rebroadcast(app *msg.App) {
+	e.proto.BroadcastOthers(0, DataMsg{App: app})
+}
+
 func (e *Eager) receive(_ stack.ProcessID, _ uint64, m stack.Message) {
 	d, ok := m.(DataMsg)
 	if !ok || e.delivered[d.App.ID] {
@@ -163,6 +178,11 @@ func (l *Lazy) Broadcast(app *msg.App) {
 	l.relayed[app.ID] = true // the origin's send is the "relay"
 	l.proto.BroadcastOthers(0, DataMsg{App: app})
 	l.deliver(app)
+}
+
+// Rebroadcast implements Broadcaster.
+func (l *Lazy) Rebroadcast(app *msg.App) {
+	l.proto.BroadcastOthers(0, DataMsg{App: app})
 }
 
 func (l *Lazy) receive(_ stack.ProcessID, _ uint64, m stack.Message) {
@@ -235,6 +255,12 @@ func (u *Uniform) Broadcast(app *msg.App) {
 	u.addHolder(app.ID, u.proto.Ctx().ID())
 	u.proto.BroadcastOthers(0, DataMsg{App: app})
 	u.check(app.ID)
+}
+
+// Rebroadcast implements Broadcaster: re-send the data message; receivers
+// re-run the holder/echo bookkeeping idempotently.
+func (u *Uniform) Rebroadcast(app *msg.App) {
+	u.proto.BroadcastOthers(0, DataMsg{App: app})
 }
 
 func (u *Uniform) receive(from stack.ProcessID, _ uint64, m stack.Message) {

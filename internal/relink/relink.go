@@ -1,0 +1,491 @@
+// Package relink restores reliable-channel semantics over lossy links: a
+// sequencing, retransmitting link layer slotted between the protocol stack
+// and the transport.
+//
+// The paper's model assumes quasi-reliable channels — a message sent between
+// two correct processes is eventually delivered. A drop-mode network
+// partition (simnet.PartitionDrop, a routing black hole over a datagram
+// transport) violates that assumption: traffic crossing the cut is lost for
+// good, and the protocol properties that rely on eventual delivery (minority
+// catch-up after a heal, full delivery everywhere) fail with it. A Link
+// repairs the channel underneath the protocols, the way TCP or a gossip
+// anti-entropy pass would, so the model's assumption holds again end to end:
+//
+//   - every remote send is assigned a per-(sender, receiver) sequence number
+//     and retained in a bounded per-peer retransmission buffer until the
+//     receiver acknowledges it (oldest entries are evicted beyond
+//     Config.BufferCap — see below);
+//   - the receiver tracks, per peer, the contiguous prefix it has seen and
+//     the out-of-order sequence numbers beyond it; duplicates are dropped, so
+//     upper layers still see each message at most once;
+//   - on a timer (Config.Interval), both ends run anti-entropy: receivers
+//     with gaps or un-acknowledged progress send a digest (AckMsg: cumulative
+//     prefix + the sparse set above it), and senders with unacknowledged data
+//     probe (ProbeMsg: highest sequence sent + eviction watermark). A digest
+//     tells the sender exactly what is missing; it retransmits those
+//     envelopes and trims what was received.
+//
+// The exchange is receiver-driven where possible (no per-message timers) and
+// quiesces completely: once all streams are acknowledged and gap-free, no
+// further control traffic is generated. A peer that stops answering
+// altogether (it crashed, or a cut is outlasting the probes) is probed at
+// most Config.MaxProbes consecutive times and then left alone until fresh
+// traffic to it — which the broadcast-to-all protocol layers above keep
+// generating while the system is active — re-earns the budget, so a dead
+// peer cannot keep the link ticking forever.
+//
+// Eviction makes the buffer bounded rather than the recovery perfect: an
+// envelope evicted before it was acknowledged can never be retransmitted.
+// Every SeqMsg and ProbeMsg therefore carries the sender's eviction watermark
+// (Low), and the receiver advances its accounted prefix over such permanent
+// gaps instead of NACKing them forever. Repairing the *semantic* loss is the
+// job of the layer above: the consensus decide-relay replays decisions a
+// healed peer missed, and the atomic broadcast engine fetches missing
+// payloads by identifier (see internal/consensus and internal/core). The
+// division of labour mirrors production systems: bounded in-window repair at
+// the transport (TCP retransmission), state transfer above it (Raft
+// snapshots, anti-entropy in Dynamo-style stores).
+//
+// Failure-detector heartbeats (stack.ProtoFD) bypass the layer: they are
+// periodic and carry no state worth replaying, and retransmitting stale
+// heartbeats would only distort timeout adaptation.
+package relink
+
+import (
+	"sort"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+// Config parameterizes a Link. The zero value selects the defaults.
+type Config struct {
+	// BufferCap is the maximum number of unacknowledged envelopes retained
+	// per peer for retransmission; beyond it the oldest are evicted
+	// (default DefaultBufferCap).
+	BufferCap int
+	// Interval is the anti-entropy cadence: how often receivers digest and
+	// senders probe. It doubles as the retransmission guard — an envelope
+	// (re)sent within the last Interval is not retransmitted again, so an
+	// in-flight copy is not duplicated by a digest that predates it
+	// (default DefaultInterval).
+	Interval time.Duration
+	// Burst caps retransmissions per processed digest, bounding the load
+	// spike when a long gap is repaired after a heal; the next anti-entropy
+	// round picks up where the burst stopped (default DefaultBurst).
+	Burst int
+	// HaveCap bounds the per-peer set of out-of-order sequence numbers a
+	// receiver tracks; beyond it the oldest gap is declared lost (default
+	// DefaultHaveCap).
+	HaveCap int
+	// MaxProbes bounds consecutive unanswered probes per outgoing stream:
+	// a peer that answers nothing for that many anti-entropy rounds (it
+	// has crashed, or the cut is outlasting the probes) stops being
+	// probed, so the link still quiesces with a dead peer in the group.
+	// Any fresh send to the peer, or any digest from it, resets the
+	// budget — which is what re-triggers repair after a long cut heals,
+	// since the protocol layers above keep broadcasting to every process
+	// (default DefaultMaxProbes).
+	MaxProbes int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultBufferCap = 1024
+	DefaultInterval  = 100 * time.Millisecond
+	DefaultBurst     = 256
+	DefaultHaveCap   = 4096
+	DefaultMaxProbes = 25
+)
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.BufferCap <= 0 {
+		c.BufferCap = DefaultBufferCap
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Burst <= 0 {
+		c.Burst = DefaultBurst
+	}
+	if c.HaveCap <= 0 {
+		c.HaveCap = DefaultHaveCap
+	}
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = DefaultMaxProbes
+	}
+	return c
+}
+
+// SeqMsg wraps one protocol envelope with its stream sequence number. Low is
+// the sender's eviction watermark: no sequence number below it can be
+// retransmitted anymore, so the receiver gives up waiting for those.
+type SeqMsg struct {
+	Seq uint64
+	Low uint64
+	Env stack.Envelope
+}
+
+// WireSize implements stack.Message.
+func (m SeqMsg) WireSize() int { return 16 + m.Env.WireSize() }
+
+// AckMsg is the receiver's digest of one incoming stream: every sequence
+// number ≤ Cum has been accounted for (delivered or given up), and Have
+// lists the out-of-order ones received beyond Cum. The sender trims its
+// buffer to the digest and retransmits exactly the gaps.
+type AckMsg struct {
+	Cum  uint64
+	Have []uint64
+}
+
+// WireSize implements stack.Message.
+func (m AckMsg) WireSize() int { return 10 + 8*len(m.Have) }
+
+// ProbeMsg advertises the sender's stream extent while unacknowledged data
+// remains: Max is the highest sequence number sent, Low the eviction
+// watermark. It makes tail loss visible — a dropped final burst reveals no
+// gap to the receiver, so the receiver cannot know to NACK until a probe
+// tells it what Max to expect. The receiver always answers with its digest.
+type ProbeMsg struct {
+	Max uint64
+	Low uint64
+}
+
+// WireSize implements stack.Message.
+func (m ProbeMsg) WireSize() int { return 16 }
+
+// Stats counts link-layer activity, for tests and diagnostics.
+type Stats struct {
+	// Sequenced is the number of envelopes sent through the layer.
+	Sequenced int64
+	// Retransmitted counts envelope re-sends triggered by digests.
+	Retransmitted int64
+	// Evicted counts buffered envelopes discarded unacknowledged because
+	// the per-peer buffer exceeded BufferCap.
+	Evicted int64
+	// Duplicates counts received envelopes dropped as already-delivered.
+	Duplicates int64
+	// GiveUps counts sequence numbers a receiver stopped waiting for
+	// because the sender's watermark passed them (or HaveCap overflowed).
+	GiveUps int64
+	// Probes and Acks count control messages sent.
+	Probes int64
+	Acks   int64
+}
+
+// outStream is the sender side of one directed stream: a ring of envelopes
+// indexed by sequence number, base..base+len-1, nil where acknowledged.
+type outStream struct {
+	next    uint64 // last sequence number assigned
+	base    uint64 // sequence number of entries[0]; everything below is settled
+	entries []*outEntry
+	live    int // non-nil entries
+	// unanswered counts consecutive probes with no digest back; at
+	// Config.MaxProbes the stream stops probing until fresh traffic or a
+	// digest resets it (see Config.MaxProbes).
+	unanswered int
+}
+
+type outEntry struct {
+	env      stack.Envelope
+	lastSent time.Time
+}
+
+// inStream is the receiver side: the contiguous accounted prefix plus the
+// sparse set of sequence numbers received beyond it.
+type inStream struct {
+	cum      uint64 // every seq ≤ cum accounted for (delivered or given up)
+	have     map[uint64]bool
+	ackDirty bool // progress since the last digest we sent
+}
+
+// Link is the per-process recovery layer. Install with New; it hooks itself
+// into the node as both the outbound Sender and the ProtoLink handler. All
+// methods run on the process's event loop (like every protocol layer), so no
+// locking is needed.
+type Link struct {
+	node *stack.Node
+	ctx  stack.Context
+	cfg  Config
+
+	out map[stack.ProcessID]*outStream
+	in  map[stack.ProcessID]*inStream
+
+	timerArmed bool
+	stats      Stats
+}
+
+// New wires a Link into the node: outgoing envelopes (except heartbeats and
+// the link's own control traffic) are sequenced and buffered; incoming
+// SeqMsg envelopes are unwrapped, deduplicated and dispatched to their
+// protocol layer.
+func New(node *stack.Node, cfg Config) *Link {
+	l := &Link{
+		node: node,
+		ctx:  node.Context(),
+		cfg:  cfg.withDefaults(),
+		out:  make(map[stack.ProcessID]*outStream),
+		in:   make(map[stack.ProcessID]*inStream),
+	}
+	node.Register(stack.ProtoLink, stack.HandlerFunc(l.receive))
+	node.SetSender(l)
+	return l
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Send implements stack.Sender: sequence, buffer, transmit.
+func (l *Link) Send(to stack.ProcessID, env stack.Envelope) {
+	if env.Proto == stack.ProtoLink || env.Proto == stack.ProtoFD {
+		// Control traffic and heartbeats ride raw (see the package comment).
+		l.ctx.Send(to, env)
+		return
+	}
+	os := l.outTo(to)
+	os.next++
+	os.entries = append(os.entries, &outEntry{env: env, lastSent: l.ctx.Now()})
+	os.live++
+	os.unanswered = 0 // fresh traffic re-earns the probe budget
+	l.stats.Sequenced++
+	for os.live > l.cfg.BufferCap {
+		l.evictOldest(os)
+	}
+	l.ctx.Send(to, stack.Envelope{Proto: stack.ProtoLink, Msg: SeqMsg{Seq: os.next, Low: os.base, Env: env}})
+	l.arm()
+}
+
+// evictOldest discards the oldest unacknowledged entry and advances the
+// watermark past it.
+func (l *Link) evictOldest(os *outStream) {
+	for i := range os.entries {
+		if os.entries[i] != nil {
+			os.entries[i] = nil
+			os.live--
+			l.stats.Evicted++
+			break
+		}
+	}
+	os.trim()
+}
+
+// trim drops settled entries from the front of the ring.
+func (os *outStream) trim() {
+	i := 0
+	for i < len(os.entries) && os.entries[i] == nil {
+		i++
+	}
+	os.entries = os.entries[i:]
+	os.base += uint64(i)
+}
+
+// outTo returns (creating if needed) the outgoing stream to q.
+func (l *Link) outTo(q stack.ProcessID) *outStream {
+	os, ok := l.out[q]
+	if !ok {
+		os = &outStream{base: 1}
+		l.out[q] = os
+	}
+	return os
+}
+
+// inFrom returns (creating if needed) the incoming stream from q.
+func (l *Link) inFrom(q stack.ProcessID) *inStream {
+	is, ok := l.in[q]
+	if !ok {
+		is = &inStream{have: make(map[uint64]bool)}
+		l.in[q] = is
+	}
+	return is
+}
+
+// receive handles link control traffic (ProtoLink).
+func (l *Link) receive(from stack.ProcessID, _ uint64, m stack.Message) {
+	switch mm := m.(type) {
+	case SeqMsg:
+		l.onSeq(from, mm)
+	case AckMsg:
+		l.onAck(from, mm)
+	case ProbeMsg:
+		l.onProbe(from, mm)
+	}
+}
+
+// onSeq accounts for one sequenced arrival and dispatches its envelope
+// upward unless it is a duplicate.
+func (l *Link) onSeq(from stack.ProcessID, m SeqMsg) {
+	is := l.inFrom(from)
+	l.giveUpBelow(is, m.Low)
+	if m.Seq <= is.cum || is.have[m.Seq] {
+		l.stats.Duplicates++
+		is.ackDirty = true // re-digest so the sender stops resending
+		l.arm()
+		return
+	}
+	is.have[m.Seq] = true
+	is.compact()
+	if len(is.have) > l.cfg.HaveCap {
+		// Bound receiver memory: declare the oldest gap lost and advance
+		// over it. The layers above repair the semantic loss.
+		min := uint64(0)
+		for s := range is.have {
+			if min == 0 || s < min {
+				min = s
+			}
+		}
+		l.stats.GiveUps += int64(min - is.cum - 1)
+		is.cum = min
+		delete(is.have, min)
+		is.compact()
+	}
+	is.ackDirty = true
+	l.arm()
+	l.node.Dispatch(from, m.Env)
+}
+
+// giveUpBelow advances the accounted prefix over sequence numbers the sender
+// can no longer retransmit.
+func (l *Link) giveUpBelow(is *inStream, low uint64) {
+	if low == 0 || low-1 <= is.cum {
+		return
+	}
+	for s := is.cum + 1; s < low; s++ {
+		if is.have[s] {
+			delete(is.have, s)
+		} else {
+			l.stats.GiveUps++
+		}
+	}
+	is.cum = low - 1
+	is.compact()
+	is.ackDirty = true
+}
+
+// compact folds contiguous received sequence numbers into the prefix.
+func (is *inStream) compact() {
+	for is.have[is.cum+1] {
+		delete(is.have, is.cum+1)
+		is.cum++
+	}
+}
+
+// onAck trims the outgoing stream to the receiver's digest and retransmits
+// the gaps it reveals.
+func (l *Link) onAck(from stack.ProcessID, m AckMsg) {
+	os, ok := l.out[from]
+	if !ok {
+		return
+	}
+	os.unanswered = 0 // the peer is alive and digesting
+	// Settle everything the digest covers.
+	for i := range os.entries {
+		seq := os.base + uint64(i)
+		if os.entries[i] != nil && seq <= m.Cum {
+			os.entries[i] = nil
+			os.live--
+		}
+	}
+	for _, seq := range m.Have {
+		if seq >= os.base {
+			if i := int(seq - os.base); i < len(os.entries) && os.entries[i] != nil {
+				os.entries[i] = nil
+				os.live--
+			}
+		}
+	}
+	os.trim()
+	// Retransmit what the receiver is provably missing: buffered, not in
+	// the digest, and not (re)sent within the guard window — a digest can
+	// never account for copies still in flight when it was emitted.
+	now := l.ctx.Now()
+	burst := 0
+	for i := range os.entries {
+		if burst >= l.cfg.Burst {
+			break
+		}
+		e := os.entries[i]
+		if e == nil || now.Sub(e.lastSent) < l.cfg.Interval {
+			continue
+		}
+		seq := os.base + uint64(i)
+		e.lastSent = now
+		l.stats.Retransmitted++
+		l.ctx.Send(from, stack.Envelope{Proto: stack.ProtoLink, Msg: SeqMsg{Seq: seq, Low: os.base, Env: e.env}})
+		burst++
+	}
+	if os.live > 0 {
+		l.arm()
+	}
+}
+
+// onProbe answers a sender's probe with the current digest, first taking the
+// probe's extent and watermark into account.
+func (l *Link) onProbe(from stack.ProcessID, m ProbeMsg) {
+	is := l.inFrom(from)
+	l.giveUpBelow(is, m.Low)
+	// The probe reveals the stream extent; anything between our prefix and
+	// Max that we do not have is a (possibly tail-loss) gap the digest
+	// reports implicitly via Cum.
+	l.sendAck(from, is)
+}
+
+// sendAck emits the digest for one incoming stream.
+func (l *Link) sendAck(to stack.ProcessID, is *inStream) {
+	have := make([]uint64, 0, len(is.have))
+	for s := range is.have {
+		have = append(have, s)
+	}
+	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
+	l.stats.Acks++
+	is.ackDirty = false
+	l.ctx.Send(to, stack.Envelope{Proto: stack.ProtoLink, Msg: AckMsg{Cum: is.cum, Have: have}})
+	if len(is.have) > 0 {
+		l.arm() // keep digesting until the gaps are repaired
+	}
+}
+
+// arm schedules the next anti-entropy tick if one is not already pending.
+func (l *Link) arm() {
+	if l.timerArmed {
+		return
+	}
+	l.timerArmed = true
+	l.ctx.SetTimer(l.cfg.Interval, l.tick)
+}
+
+// tick runs one anti-entropy round: digest every incoming stream with
+// un-acknowledged progress or gaps, probe every outgoing stream with
+// unsettled data. Rearms itself only while such state remains, so a
+// quiescent link generates no traffic and no events.
+func (l *Link) tick() {
+	l.timerArmed = false
+	pending := false
+	n := stack.ProcessID(l.ctx.N())
+	for q := stack.ProcessID(1); q <= n; q++ {
+		if is, ok := l.in[q]; ok && (is.ackDirty || len(is.have) > 0) {
+			l.sendAck(q, is)
+			if len(is.have) > 0 {
+				pending = true
+			}
+		}
+	}
+	for q := stack.ProcessID(1); q <= n; q++ {
+		if os, ok := l.out[q]; ok && os.live > 0 && os.unanswered < l.cfg.MaxProbes {
+			os.unanswered++
+			l.stats.Probes++
+			l.ctx.Send(q, stack.Envelope{Proto: stack.ProtoLink, Msg: ProbeMsg{Max: os.next, Low: os.base}})
+			pending = true
+		}
+	}
+	if pending {
+		l.arm()
+	}
+}
+
+var (
+	_ stack.Message = SeqMsg{}
+	_ stack.Message = AckMsg{}
+	_ stack.Message = ProbeMsg{}
+	_ stack.Sender  = (*Link)(nil)
+)

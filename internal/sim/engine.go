@@ -2,6 +2,14 @@
 // a virtual clock, an event queue, and FIFO resources used to model CPUs and
 // network links.
 //
+// Its role is the paper's simulated test bed: the authors evaluated their
+// algorithms in the Neko framework (Urbán et al.), where the same protocol
+// implementation runs in simulation and on a real network. This kernel is
+// the simulation half of that property — given a seed, a run is exactly
+// reproducible event for event, which is what lets the repository pin
+// protocol schedules (adversarial crash timings, partition episodes) and
+// archive byte-stable benchmark output across revisions.
+//
 // The kernel is deliberately small and generic; the network cost model that
 // the benchmarks rely on lives in package netmodel, and the process/protocol
 // plumbing in package simnet.

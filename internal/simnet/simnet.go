@@ -143,9 +143,14 @@ const (
 	// PartitionDrop loses cross-group messages — a routing black hole over
 	// a datagram transport. Channel reliability between correct processes
 	// is violated while the partition lasts: traffic sent across the cut is
-	// gone for good, so protocol properties that rely on reliable channels
-	// (eventual delivery on the minority side, minority catch-up) hold only
-	// for traffic sent after Heal.
+	// gone for good, so without repair, protocol properties that rely on
+	// reliable channels (eventual delivery on the minority side, minority
+	// catch-up) hold only for traffic sent after Heal. The recovery
+	// subsystem (core.Config.Recover: relink retransmission + anti-entropy,
+	// consensus decide-relay, payload fetch) closes exactly this gap — with
+	// it enabled, a drop-mode episode ends in full delivery everywhere,
+	// like a delay-mode one (see the drop-vs-delay matrix in the root
+	// package's doc.go).
 	PartitionDrop PartitionMode = iota + 1
 	// PartitionDelay holds cross-group messages at the cut and releases
 	// them, in original arrival order, when the partition heals — the

@@ -15,6 +15,12 @@
 // All events of a process — message deliveries and timer firings — are
 // executed sequentially, so protocol implementations need no internal
 // locking.
+//
+// The Sender hook (Node.SetSender) is the seam the recovery subsystem uses:
+// internal/relink installs itself there to sequence and buffer every remote
+// send without any protocol layer knowing, which is how the repository
+// restores the paper's quasi-reliable-channel assumption over transports
+// that lose messages (see internal/relink).
 package stack
 
 import (
@@ -44,6 +50,8 @@ const (
 	ProtoCons  ProtoID = 4 // consensus / indirect consensus
 	ProtoApp   ProtoID = 5 // application-level traffic (examples)
 	ProtoBench ProtoID = 6 // benchmark harness control traffic
+	ProtoLink  ProtoID = 7 // reliable-link recovery layer (internal/relink)
+	ProtoSync  ProtoID = 8 // payload catch-up fetch/supply (internal/core)
 )
 
 // Envelope wraps a protocol message for transport.
@@ -108,10 +116,18 @@ func (f HandlerFunc) Receive(from ProcessID, inst uint64, m Message) {
 	f(from, inst, m)
 }
 
+// Sender intercepts outgoing envelopes before they reach the transport. A
+// recovery layer (internal/relink) installs one to sequence and buffer
+// remote sends; it forwards to Context.Send itself.
+type Sender interface {
+	Send(to ProcessID, env Envelope)
+}
+
 // Node multiplexes protocol layers on a single process.
 type Node struct {
 	ctx      Context
 	handlers map[ProtoID]Handler
+	sender   Sender
 }
 
 // NewNode creates a node bound to the given runtime context.
@@ -140,6 +156,23 @@ func (n *Node) Dispatch(from ProcessID, env Envelope) {
 	}
 }
 
+// SetSender installs an outbound interceptor: every remote send of every
+// protocol layer on this node flows through s instead of going straight to
+// the transport. Local (self) sends bypass it — they never cross the
+// network, so there is nothing to recover. Installing nil restores direct
+// transport sends.
+func (n *Node) SetSender(s Sender) { n.sender = s }
+
+// send routes one outgoing envelope: through the installed Sender for
+// remote destinations, directly to the transport otherwise.
+func (n *Node) send(to ProcessID, env Envelope) {
+	if n.sender != nil && to != n.ctx.ID() {
+		n.sender.Send(to, env)
+		return
+	}
+	n.ctx.Send(to, env)
+}
+
 // Proto returns a protocol-scoped sending helper for the given layer.
 func (n *Node) Proto(id ProtoID) Proto {
 	return Proto{node: n, id: id}
@@ -157,7 +190,7 @@ func (p Proto) Ctx() Context { return p.node.ctx }
 
 // Send transmits m to process q under this protocol's id.
 func (p Proto) Send(q ProcessID, inst uint64, m Message) {
-	p.node.ctx.Send(q, Envelope{Proto: p.id, Inst: inst, Msg: m})
+	p.node.send(q, Envelope{Proto: p.id, Inst: inst, Msg: m})
 }
 
 // Broadcast transmits m to every process, including the sender. The paper's

@@ -1,4 +1,15 @@
-// Package stats provides small statistical accumulators for latency series.
+// Package stats provides the statistical accumulators behind the benchmark
+// harness: a Sample collects observations (one per measured message) and a
+// Summary reports mean, median, percentiles and spread.
+//
+// Its role maps to the paper's performance metric (Section 4.1): "latency"
+// there is the average, over all processes, of the elapsed time between
+// abroadcast(m) and adeliver(m), and every figure plots the mean of that
+// quantity over the measured messages. internal/bench computes the
+// per-message averages and feeds them here; Summary.Mean is the cell value
+// the figures print, while the median/P95 fields support the saturation
+// analysis (the latency blow-ups of Figures 1 and 3-7 show up as a widening
+// mean-median gap before the mean explodes).
 package stats
 
 import (

@@ -15,6 +15,7 @@ import (
 	"abcast/internal/fd"
 	"abcast/internal/msg"
 	"abcast/internal/rbcast"
+	"abcast/internal/relink"
 	"abcast/internal/stack"
 )
 
@@ -37,9 +38,16 @@ func Register() {
 		gob.Register(consensus.DecideMsg{})
 		gob.Register(consensus.OpenMsg{})
 		gob.Register(consensus.PiggyMsg{})
+		gob.Register(consensus.SyncReqMsg{})
 		// Consensus values.
 		gob.Register(core.IDSetValue{})
 		gob.Register(core.MsgSetValue{})
+		// Recovery: reliable-link framing and payload fetch.
+		gob.Register(relink.SeqMsg{})
+		gob.Register(relink.AckMsg{})
+		gob.Register(relink.ProbeMsg{})
+		gob.Register(core.FetchMsg{})
+		gob.Register(core.SupplyMsg{})
 		// Application payloads.
 		gob.Register(&msg.App{})
 	})
