@@ -131,6 +131,16 @@ type Options struct {
 	// g3). It costs a sequencing header per message plus periodic digest
 	// traffic while streams have unacknowledged data.
 	Recovery bool
+	// Snapshot enables snapshot state transfer on top of Recovery (setting
+	// it implies Recovery): a process behind by more consensus instances
+	// than the decide-relay's bounded decision log retains — an outage
+	// deeper than retransmission can repair — is shipped the delivered
+	// prefix plus engine state (the Raft-snapshot analogue) and atomically
+	// advanced past the gap, after which the relay and payload-fetch paths
+	// finish the tail. Without it, recovery guarantees catch-up only within
+	// the decision log's horizon. Figure g4 (abench -fig g4) quantifies the
+	// difference.
+	Snapshot bool
 	// Seed makes jitter and protocol tie-breaking deterministic.
 	Seed int64
 	// OnDeliver, if set, is called for every delivery, on the delivering
@@ -213,8 +223,8 @@ func New(n int, opts Options) (*Cluster, error) {
 			node := net.Node(stack.ProcessID(i))
 			c.dets[i] = fd.NewHeartbeat(node, hb)
 			var rcfg *core.RecoverConfig
-			if opts.Recovery {
-				rcfg = &core.RecoverConfig{}
+			if opts.Recovery || opts.Snapshot {
+				rcfg = &core.RecoverConfig{Snapshot: opts.Snapshot}
 			}
 			eng, err := core.New(node, core.Config{
 				Variant:  variant,

@@ -30,7 +30,10 @@
 // between the two virtual instants; -recover enables the recovery subsystem
 // (retransmission + anti-entropy + decide-relay + payload fetch) on every
 // process, which makes drop-mode episodes survivable — figure g3 is the
-// built-in comparison.
+// built-in comparison; -snapshot additionally enables snapshot state
+// transfer (implying -recover), which extends catch-up beyond the
+// decide-relay's bounded decision log to arbitrarily deep lags — figure g4
+// is the built-in comparison.
 package main
 
 import (
@@ -62,7 +65,8 @@ func run(out io.Writer, args []string) error {
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON instead of tables")
 		topo      = fs.String("topo", "", "network model override: setup1, setup2, pipeline, wan3")
 		partition = fs.String("partition", "", "partition episode override: from:until:p,q[,...][:drop] (e.g. 0.4s:1.1s:3)")
-		recover   = fs.Bool("recover", false, "enable the recovery subsystem (retransmission, decide-relay, payload fetch) on every figure")
+		recovery  = fs.Bool("recover", false, "enable the recovery subsystem (retransmission, decide-relay, payload fetch) on every figure")
+		snapshot  = fs.Bool("snapshot", false, "enable snapshot state transfer for deep catch-up on every figure (implies -recover)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +81,7 @@ func run(out io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
 	}
-	override, err := buildOverride(*topo, *partition, *recover)
+	override, err := buildOverride(*topo, *partition, *recovery, *snapshot)
 	if err != nil {
 		return err
 	}
@@ -113,12 +117,15 @@ func run(out io.Writer, args []string) error {
 	return nil
 }
 
-// buildOverride turns the -topo, -partition and -recover flags into an
-// experiment post-processor (nil when no flag is set).
-func buildOverride(topo, partition string, recover bool) (func(*bench.Experiment), error) {
+// buildOverride turns the -topo, -partition, -recover and -snapshot flags
+// into an experiment post-processor (nil when no flag is set).
+func buildOverride(topo, partition string, recovery, snapshot bool) (func(*bench.Experiment), error) {
 	var steps []func(*bench.Experiment)
-	if recover {
-		steps = append(steps, func(e *bench.Experiment) { e.Recovery = true })
+	if recovery || snapshot {
+		steps = append(steps, func(e *bench.Experiment) {
+			e.Recovery = true
+			e.Snapshot = e.Snapshot || snapshot
+		})
 	}
 	if topo != "" {
 		params, err := bench.NamedParams(topo)

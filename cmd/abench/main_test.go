@@ -130,3 +130,14 @@ func TestRunWANFigureTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunSnapshotFigureTiny(t *testing.T) {
+	// g4 (deep-lag snapshot comparison) and the -snapshot override on an
+	// ordinary figure: both must build and run.
+	if err := run(io.Discard, []string{"-fig", "g4", "-scale", "0.02", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, []string{"-fig", "3a", "-scale", "0.02", "-snapshot"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,21 +78,40 @@
 //     re-diffused, since the reliable broadcasts relay only on first
 //     receipt.
 //
-// The partition-mode guarantee matrix, pinned by the property tests in
-// internal/core/partition_test.go:
+// Recovery's repairs are replay-bounded: relink by its retransmission
+// buffers, the decide-relay by its decision log. A process cut off for more
+// consensus instances than the log retains (DecisionLogCap) falls off that
+// horizon — the decisions it needs first are evicted everywhere, so no
+// replay can catch it up. Options.Snapshot (engine side:
+// core.RecoverConfig.Snapshot; implies Recovery) adds the Raft-snapshot
+// analogue: the deep-lagged peer is shipped the delivered prefix plus
+// engine state in bounded chunked rounds, atomically advanced past the gap,
+// and the relay/fetch paths finish the tail — so the broadcast contract
+// holds for arbitrarily long outages.
 //
-//	mode     recovery   during the cut                after the heal
-//	delay    off/on     majority progresses; safety   full delivery everywhere
-//	         (any)      (total order, No loss) holds  (channels were never lost)
-//	drop     off        majority progresses; safety   minority may stay behind
-//	                    holds                         forever (documented gap)
-//	drop     on         majority progresses; safety   full delivery everywhere —
-//	                    holds                         drop behaves like delay
+// The partition-mode guarantee matrix, pinned by the property tests in
+// internal/core/partition_test.go and internal/core/snapshot_test.go
+// ("deep" = the minority missed more instances than the decision log
+// retains):
+//
+//	mode        recovery     during the cut                after the heal
+//	delay       any          majority progresses; safety   full delivery everywhere
+//	                         (total order, No loss) holds  (channels were never lost)
+//	drop        off          majority progresses; safety   minority may stay behind
+//	                         holds                         forever (documented gap)
+//	drop        on           majority progresses; safety   full delivery everywhere —
+//	                         holds                         drop behaves like delay
+//	deep drop   on, no       majority progresses; safety   minority pinned below the
+//	            snapshots    holds                         log floor forever
+//	deep drop   on +         majority progresses; safety   full delivery everywhere —
+//	            snapshots    holds                         snapshot, then relay/fetch
 //
 // Figure g3 (`abench -fig g3`) shows the delivered-rate flatline without
 // recovery and the post-heal catch-up with it, including with buffers so
 // small that only the decide-relay/fetch path (not raw replay) can finish
-// the job; `abench -recover` imposes the subsystem on any figure.
+// the job; figure g4 repeats the comparison in the deep-lag regime, where
+// relay-only recovery flatlines and only snapshot state transfer converges.
+// `abench -recover` and `-snapshot` impose the subsystems on any figure.
 //
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,

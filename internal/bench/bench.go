@@ -72,6 +72,16 @@ type Experiment struct {
 	// (0 = relink default). Small values force eviction during a partition
 	// and exercise the decide-relay/fetch path instead of pure replay.
 	RecoveryBuffer int
+	// DecisionLogCap overrides the consensus decide-relay's decision-log
+	// retention (0 = consensus default). Small values push a partitioned
+	// minority beyond the relay's horizon — the deep-lag regime snapshot
+	// state transfer exists for.
+	DecisionLogCap int
+	// Snapshot enables snapshot state transfer on every process (implies
+	// Recovery): a peer behind by more than DecisionLogCap instances is
+	// shipped the delivered prefix plus engine state instead of a decision
+	// replay it cannot use. Figure g4 compares relay-only against it.
+	Snapshot bool
 
 	// MaxVirtual caps the simulated time after the last send; messages
 	// undelivered by then (saturation) still count into the mean with
@@ -133,9 +143,11 @@ func Run(e Experiment) (Result, error) {
 		node := w.Node(stack.ProcessID(i))
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
 		var rcfg *core.RecoverConfig
-		if e.Recovery {
+		if e.Recovery || e.Snapshot {
 			rcfg = &core.RecoverConfig{
-				Link: relink.Config{BufferCap: e.RecoveryBuffer},
+				Link:           relink.Config{BufferCap: e.RecoveryBuffer},
+				DecisionLogCap: e.DecisionLogCap,
+				Snapshot:       e.Snapshot,
 			}
 		}
 		eng, err := core.New(node, core.Config{

@@ -123,13 +123,14 @@ func TestFiguresComplete(t *testing.T) {
 		"s1", "p1",
 		"6a", "6b", "6c",
 		"7a", "7b",
-		"g1", "g2", "g3",
+		"g1", "g2", "g3", "g4",
 	}
 	// Most figures compare two stacks over ≥4 x values; g3 is the recovery
-	// comparison (off / on / on-with-tiny-buffers) over the three pipeline
-	// widths that matter.
+	// comparison (off / on / on-with-tiny-buffers) and g4 the deep-lag one
+	// (relay-only / snapshot), each over the three pipeline widths that
+	// matter.
 	wantStacks := map[string]int{"g3": 3}
-	minPoints := map[string]int{"g3": 3}
+	minPoints := map[string]int{"g3": 3, "g4": 3}
 	for _, id := range want {
 		spec, ok := figs[id]
 		if !ok {

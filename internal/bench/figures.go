@@ -27,6 +27,12 @@ type StackSpec struct {
 	// tiny buffers that force the decide-relay path).
 	Recovery       bool
 	RecoveryBuffer int
+	// DecisionLogCap/Snapshot configure the deep-lag regime: a small
+	// decision log pushes a cut-off minority beyond the decide-relay's
+	// horizon, and Snapshot enables the state transfer that closes such a
+	// gap (figure g4 compares relay-only against it).
+	DecisionLogCap int
+	Snapshot       bool
 }
 
 // Metric selects what a figure's cells report.
@@ -466,6 +472,58 @@ func Figures() map[string]FigureSpec {
 				Recovery:          s.Recovery,
 				RecoveryBuffer:    s.RecoveryBuffer,
 				// The no-recovery curve never reaches full delivery, so it
+				// always runs to the horizon; keep it short.
+				MaxVirtual: 20 * time.Second,
+			}
+		},
+	})
+	// Extension: figure g4 is the deep-lag counterpart of g3 — the same
+	// drop-mode partition-and-heal episode, but with the decide-relay's
+	// decision log capped at 8 instances (and 16-message retransmission
+	// buffers, so eviction destroys the replay window). During the 0.7 s
+	// cut the majority consumes far more than 8 instances, pushing the
+	// minority beyond the relay's horizon: with relay-only recovery the
+	// minority can never fill the evicted gap — it holds later decisions it
+	// cannot consume, its own instances find no quorum, and the
+	// delivered-everywhere rate flatlines at the horizon. With snapshot
+	// state transfer enabled, the minority is shipped the delivered prefix,
+	// atomically advanced past the gap, and the relay/fetch path finishes
+	// the tail — full delivery everywhere, like g3's recovery curves but
+	// for arbitrarily deep lag.
+	figs = append(figs, FigureSpec{
+		ID:     "g4",
+		Title:  "EXTENSION: delivered throughput across a DROP-mode partition-and-heal with the minority beyond the decision-log horizon (log cap 8, 16-msg buffers): relay-only vs snapshot state transfer, n=3 WAN, offered 120 msg/s, 100 B, IndirectCT, MaxBatch=4",
+		XLabel: "pipeline width [W]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2, 4},
+		Stacks: []StackSpec{
+			{Label: "Relay only", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Recovery: true, RecoveryBuffer: 16, DecisionLogCap: 8},
+			{Label: "Snapshot", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Recovery: true, RecoveryBuffer: 16, DecisionLogCap: 8, Snapshot: true},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(120, scale)
+			return Experiment{
+				Name:              fmt.Sprintf("%s W=%.0f wan3+deep-lag", s.Label, x),
+				N:                 3,
+				Params:            netmodel.WAN3Sites(),
+				Variant:           s.Variant,
+				RB:                s.RB,
+				Throughput:        120,
+				Payload:           100,
+				Messages:          measured,
+				Warmup:            warmup,
+				Seed:              seed,
+				MaxBatch:          s.MaxBatch,
+				Pipeline:          int(x),
+				PartitionFrom:     400 * time.Millisecond,
+				PartitionUntil:    1100 * time.Millisecond,
+				PartitionMinority: []int{3},
+				PartitionDrop:     true,
+				Recovery:          s.Recovery,
+				RecoveryBuffer:    s.RecoveryBuffer,
+				DecisionLogCap:    s.DecisionLogCap,
+				Snapshot:          s.Snapshot,
+				// The relay-only curve never reaches full delivery, so it
 				// always runs to the horizon; keep it short.
 				MaxVirtual: 20 * time.Second,
 			}

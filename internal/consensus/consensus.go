@@ -132,6 +132,16 @@ type Config struct {
 	// which both bounds the cost of traffic that merely crossed a prune on
 	// the wire and paces multi-batch catch-up.
 	RelayCooldown time.Duration
+	// OnDeepLag, if set, is invoked — instead of a decision replay — when a
+	// peer's stale traffic or explicit SyncReqMsg reveals it behind the
+	// decision log's floor: the decisions it needs first have already been
+	// evicted, so no amount of relaying can catch it up. The callback is the
+	// seam for snapshot state transfer (the layer above offers the peer its
+	// delivered prefix plus engine state; see core's snapshot subsystem).
+	// Invocations share the per-peer RelayCooldown rate limit with ordinary
+	// relays. Without the callback, a deep-lagged peer gets the best-effort
+	// logged tail, which cannot close its gap.
+	OnDeepLag func(q stack.ProcessID, from uint64)
 }
 
 // Relay defaults.
@@ -176,6 +186,7 @@ type Service struct {
 	maxDecided uint64
 	lastRelay  map[stack.ProcessID]time.Time
 	relaysSent int
+	deepLags   int // deep-lag detections handed to OnDeepLag
 }
 
 // NewService wires a consensus service into the node.
@@ -515,8 +526,15 @@ func (s *Service) logDecision(k uint64, v Value) {
 // limited per peer. The relayed DecideMsgs flow through the normal decide
 // path on the receiver (settle instance, fire the upcall), so the engine
 // above consumes them exactly like first-hand decisions.
+//
+// A peer whose apparent position lies below the log's floor is *deeply*
+// lagged: the decisions it needs first are evicted, and relaying the logged
+// tail would only park them in the peer's pending set forever. When
+// Config.OnDeepLag is set, such a peer is handed to it (snapshot state
+// transfer) instead of being relayed to.
 func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
-	if s.decisions == nil || len(s.decisions) == 0 {
+	if len(s.decisions) == 0 {
+		// Relay disabled, or nothing logged yet.
 		return
 	}
 	now := s.proto.Ctx().Now()
@@ -528,6 +546,11 @@ func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
 		return
 	}
 	s.lastRelay[q] = now
+	if k < s.decLow && s.cfg.OnDeepLag != nil {
+		s.deepLags++
+		s.cfg.OnDeepLag(q, k)
+		return
+	}
 	start := k
 	if start < s.decLow {
 		start = s.decLow // best effort: older decisions are evicted
@@ -545,6 +568,15 @@ func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
 // RelayCount reports how many decisions the decide-relay has re-sent (for
 // tests and diagnostics).
 func (s *Service) RelayCount() int { return s.relaysSent }
+
+// DeepLagCount reports how many deep-lag detections were handed to
+// Config.OnDeepLag (for tests and diagnostics).
+func (s *Service) DeepLagCount() int { return s.deepLags }
+
+// LogFloor returns the lowest serial number still retained by the
+// decide-relay's decision log (0 = log empty). A peer whose next-expected
+// serial is below the floor cannot be caught up by the relay alone.
+func (s *Service) LogFloor() uint64 { return s.decLow }
 
 // RequestSync asks q to relay the decisions of instances ≥ from that it
 // still has logged. Used by the engine above when it detects a hole in its

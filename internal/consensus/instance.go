@@ -11,7 +11,6 @@ type instance struct {
 	k          uint64
 	proposed   bool
 	decided    bool
-	decision   Value
 	decideSent bool
 	buffer     []bufferedMsg
 	fdCancel   func()
@@ -96,7 +95,6 @@ func (in *instance) onDecide(v Value) {
 		in.svc.broadcastOthers(in.k, DecideMsg{Est: v})
 	}
 	in.decided = true
-	in.decision = v
 	in.svc.logDecision(in.k, v)
 	if in.fdCancel != nil {
 		in.fdCancel()

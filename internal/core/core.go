@@ -139,7 +139,7 @@ type Engine struct {
 	delivered map[msg.ID]bool     // messages already adelivered
 	inOrdered map[msg.ID]bool     // ids currently queued in orderedp
 	unordered msg.IDSet           // unorderedp: received but not yet ordered
-	ordered   []msg.ID            // orderedp: ordered, not yet adelivered
+	ordered   []ordRec            // orderedp: ordered, not yet adelivered
 
 	kNext    uint64                     // next consensus instance to consume
 	kPropose uint64                     // next consensus instance to propose to (≥ kNext)
@@ -165,6 +165,31 @@ type Engine struct {
 	syncAttempt    int
 	fetches        int
 	syncReqs       int
+
+	// Snapshot state (Config.Recover.Snapshot): the ProtoSnapshot sending
+	// helper, the delivered-prefix log (delivery order with ordering
+	// serials, the producer side's source of truth), the installer's
+	// in-progress transfer, and counters for tests. See snapshot.go.
+	snap         stack.Proto
+	deliveredLog []ordRec
+	snapTarget   uint64          // highest serial an offer has promised; behind until kNext reaches it
+	snapFrom     stack.ProcessID // producer of the transfer in progress (0 = none)
+	snapStarted  time.Time       // when the transfer was accepted (stall detection)
+	snapBoundary uint64          // transfer header, fixed by the first chunk
+	snapStart    uint64
+	snapTotal    int
+	snapMore     bool
+	snapChunks   map[int][]SnapEntry
+	snapsServed  int
+	snapsDone    int
+}
+
+// ordRec is one entry of the ordered/delivered sequences: an identifier plus
+// the consensus instance that ordered it. The serial lets the snapshot
+// producer truncate a transfer exactly at an instance boundary.
+type ordRec struct {
+	id msg.ID
+	k  uint64
 }
 
 // New wires an atomic broadcast engine and all its substrate layers into
@@ -225,6 +250,11 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	if cfg.Recover != nil {
 		ccfg.Relay = true
 		ccfg.DecisionLogCap = cfg.Recover.DecisionLogCap
+		if cfg.Recover.Snapshot {
+			// Deep lag (a peer behind the decision log's floor) is answered
+			// with a snapshot offer instead of a futile relay.
+			ccfg.OnDeepLag = e.onDeepLag
+		}
 	}
 	if window > 1 {
 		// Serial operation needs no participation callback: an instance's
@@ -397,6 +427,21 @@ func (e *Engine) onDecide(k uint64, v consensus.Value) {
 		e.cfg.OnDecision(k, v)
 	}
 	e.pending[k] = v
+	e.consumePending()
+	// Consumed instances are settled locally and our decide relay is out:
+	// their consensus state can be released.
+	e.cons.PruneBelow(e.kNext)
+	// Decisions left pending mean kNext is missing here — a hole that,
+	// after a lossy episode, only an explicit sync may fill.
+	e.armSyncReq()
+	e.maybePropose()
+}
+
+// consumePending consumes decisions in serial order from the pending set,
+// advancing kNext as far as the contiguous prefix reaches. Shared by the
+// decide upcall and the snapshot installer (which jumps kNext past a gap and
+// may thereby unlock already-held later decisions).
+func (e *Engine) consumePending() {
 	for {
 		next, ok := e.pending[e.kNext]
 		if !ok {
@@ -407,32 +452,26 @@ func (e *Engine) onDecide(k uint64, v consensus.Value) {
 			// Release our proposal for the consumed instance. Identifiers
 			// the decision did not order (another process's batch won) are
 			// still in unordered and, unclaimed again, get re-proposed to
-			// a later instance by maybePropose below.
+			// a later instance by maybePropose.
 			delete(e.inFlight, e.kNext)
 			for _, id := range batch.IDs() {
 				delete(e.claimed, id)
 			}
 		}
 		delete(e.needed, e.kNext)
+		k := e.kNext
 		e.kNext++
-		e.applyDecision(next)
+		e.applyDecision(k, next)
 	}
 	if e.kPropose < e.kNext {
 		// Instances decided entirely without us; never propose below kNext.
 		e.kPropose = e.kNext
 	}
-	// Consumed instances are settled locally and our decide relay is out:
-	// their consensus state can be released.
-	e.cons.PruneBelow(e.kNext)
-	// Decisions left pending mean kNext is missing here — a hole that,
-	// after a lossy episode, only an explicit sync may fill.
-	e.armSyncReq()
-	e.maybePropose()
 }
 
-// applyDecision appends the decided identifiers, in deterministic order, to
-// the ordered sequence and delivers what it can.
-func (e *Engine) applyDecision(v consensus.Value) {
+// applyDecision appends the identifiers decided by instance k, in
+// deterministic order, to the ordered sequence and delivers what it can.
+func (e *Engine) applyDecision(k uint64, v consensus.Value) {
 	if mv, ok := v.(MsgSetValue); ok {
 		// Consensus on messages: the decision itself carries the
 		// payloads, so every decider can deliver them even if the
@@ -448,7 +487,7 @@ func (e *Engine) applyDecision(v consensus.Value) {
 		e.unordered.Remove(id)
 		delete(e.unorderedSince, id)
 		if !e.delivered[id] && !e.inOrdered[id] {
-			e.ordered = append(e.ordered, id)
+			e.ordered = append(e.ordered, ordRec{id: id, k: k})
 			e.inOrdered[id] = true
 		}
 	}
@@ -460,8 +499,8 @@ func (e *Engine) applyDecision(v consensus.Value) {
 // forever: No loss (or uniform diffusion) guarantees the payload arrives.
 func (e *Engine) tryDeliver() {
 	for len(e.ordered) > 0 {
-		id := e.ordered[0]
-		app := e.received[id]
+		rec := e.ordered[0]
+		app := e.received[rec.id]
 		if app == nil {
 			// Head ordered but not yet received. With recovery enabled,
 			// arrange to fetch the payload if the stall persists.
@@ -469,8 +508,13 @@ func (e *Engine) tryDeliver() {
 			return
 		}
 		e.ordered = e.ordered[1:]
-		delete(e.inOrdered, id)
-		e.delivered[id] = true
+		delete(e.inOrdered, rec.id)
+		e.delivered[rec.id] = true
+		if e.snapshotEnabled() {
+			// The delivered prefix, in order and with ordering serials, is
+			// what snapshot transfers ship; see snapshot.go.
+			e.deliveredLog = append(e.deliveredLog, rec)
+		}
 		e.cfg.Deliver(app)
 	}
 }
@@ -479,13 +523,13 @@ func (e *Engine) tryDeliver() {
 // of the ordered sequence with no corresponding message. Transient in
 // correct stacks; permanent in the faulty stack's Section 2.2 scenario.
 func (e *Engine) Blocked() bool {
-	return len(e.ordered) > 0 && e.received[e.ordered[0]] == nil
+	return len(e.ordered) > 0 && e.received[e.ordered[0].id] == nil
 }
 
 // BlockedOn returns the identifier the engine is waiting on, if Blocked.
 func (e *Engine) BlockedOn() (msg.ID, bool) {
 	if e.Blocked() {
-		return e.ordered[0], true
+		return e.ordered[0].id, true
 	}
 	return msg.ID{}, false
 }

@@ -67,6 +67,24 @@ type RecoverConfig struct {
 	// message for is never ordered (the round-1 coordinator only proposes
 	// its own estimate, so Validity rides on diffusion completing).
 	RediffuseDelay time.Duration
+	// Snapshot enables snapshot state transfer on top of the relay/fetch
+	// repairs: a peer behind by more than DecisionLogCap consensus
+	// instances — beyond the decide-relay's horizon — is shipped the
+	// delivered prefix plus engine state (the Raft-snapshot analogue)
+	// instead of a decision replay it can no longer use. Off by default;
+	// without it, recovery covers only lags the decision log can replay.
+	// See snapshot.go and docs/ARCHITECTURE.md.
+	Snapshot bool
+	// SnapshotChunk caps entries per snapshot chunk message
+	// (0 = DefaultSnapshotChunk); the transfer is split into ceil(n/chunk)
+	// SnapChunkMsgs so no single envelope carries an unbounded payload.
+	SnapshotChunk int
+	// SnapshotMax caps entries per snapshot round (0 = DefaultSnapshotMax).
+	// A gap larger than the cap is closed over several offer/accept rounds,
+	// each truncated at a consensus-instance boundary, bounding producer
+	// burst and installer buffering regardless of how far behind the peer
+	// is.
+	SnapshotMax int
 }
 
 // DefaultFetchDelay is the default blocked-head fetch delay: far above any
@@ -116,6 +134,10 @@ func (e *Engine) initRecovery(node *stack.Node) {
 	e.link = relink.New(node, e.cfg.Recover.Link)
 	e.sync = node.Proto(stack.ProtoSync)
 	node.Register(stack.ProtoSync, stack.HandlerFunc(e.onSync))
+	if e.cfg.Recover.Snapshot {
+		e.snap = node.Proto(stack.ProtoSnapshot)
+		node.Register(stack.ProtoSnapshot, stack.HandlerFunc(e.onSnapshot))
+	}
 }
 
 // LinkStats reports the reliable-link layer's counters (zero value when
@@ -181,13 +203,13 @@ func (e *Engine) fetchTick() {
 	}
 	missing := make([]msg.ID, 0, fetchBatch)
 	seen := make(map[msg.ID]bool, fetchBatch)
-	for _, id := range e.ordered {
+	for _, rec := range e.ordered {
 		if len(missing) == fetchBatch {
 			break
 		}
-		if e.received[id] == nil && !seen[id] {
-			missing = append(missing, id)
-			seen[id] = true
+		if e.received[rec.id] == nil && !seen[rec.id] {
+			missing = append(missing, rec.id)
+			seen[rec.id] = true
 		}
 	}
 	for id := range e.wanted {
@@ -224,14 +246,26 @@ func (e *Engine) nextPeer(attempt int) stack.ProcessID {
 	return stack.ProcessID((self+attempt%(n-1))%n + 1)
 }
 
-// armSyncReq schedules a decision-sync request: the engine holds decisions
-// for later instances while earlier ones are missing (e.pending non-empty
-// means kNext itself is undecided here), which after a black-holed partition
-// may never resolve on its own — the original DecideMsgs are lost and a
-// behind process can be parked in a round it coordinates itself, emitting no
-// stale traffic for the implicit relay to react to.
+// needsSync reports whether this engine knows it is behind on decisions: it
+// holds decisions for later instances while earlier ones are missing
+// (e.pending non-empty means kNext itself is undecided here), or a snapshot
+// offer has promised a serial this engine has not reached yet (see
+// snapshot.go; the condition self-clears once kNext catches up, however the
+// gap ends up closed).
+func (e *Engine) needsSync() bool {
+	return len(e.pending) > 0 || e.kNext < e.snapTarget
+}
+
+// armSyncReq schedules a decision-sync request: a hole in the decision
+// sequence, after a black-holed partition, may never resolve on its own —
+// the original DecideMsgs are lost and a behind process can be parked in a
+// round it coordinates itself, emitting no stale traffic for the implicit
+// relay to react to. The same timer keeps a deep-lagged engine asking until
+// a snapshot transfer completes, which makes lost offers, accepts, and
+// chunks all recoverable (each re-request eventually produces a fresh
+// offer).
 func (e *Engine) armSyncReq() {
-	if e.cfg.Recover == nil || e.syncArmed || e.ctx.N() < 2 || len(e.pending) == 0 {
+	if e.cfg.Recover == nil || e.syncArmed || e.ctx.N() < 2 || !e.needsSync() {
 		return
 	}
 	e.syncArmed = true
@@ -243,7 +277,7 @@ func (e *Engine) armSyncReq() {
 // the hole closes within a round trip and the timer finds nothing to do.
 func (e *Engine) syncTick() {
 	e.syncArmed = false
-	if len(e.pending) == 0 {
+	if !e.needsSync() {
 		return
 	}
 	q := e.nextPeer(e.syncAttempt)

@@ -1,0 +1,224 @@
+package core
+
+// Property tests of snapshot state transfer (RecoverConfig.Snapshot): a
+// drop-partitioned minority that falls behind by more consensus instances
+// than the decide-relay's decision log retains is beyond every replay-based
+// repair — the decisions it needs first are evicted, and its own instances
+// find no quorum once the rest of the system has pruned them. The tests pin
+// both sides of that contract:
+//
+//   - with snapshots enabled, such a minority is shipped the delivered
+//     prefix, atomically advanced past the gap, and reaches full delivery
+//     in total order — the paper's guarantees hold for arbitrarily deep
+//     outages;
+//   - with snapshots disabled (relay-only recovery), the same schedule
+//     provably cannot close the gap: safety holds everywhere and the
+//     majority delivers everything, but the minority stays pinned behind
+//     the log floor forever.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"abcast/internal/consensus"
+	"abcast/internal/msg"
+	"abcast/internal/netmodel"
+	"abcast/internal/rbcast"
+	"abcast/internal/relink"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+// deepLagCfg is the regime every deep-lag test runs in: per-instance work
+// capped so the majority burns through many instances during the cut, a
+// 4-instance decision log so those instances fall off the relay's horizon,
+// and 8-entry retransmission buffers so eviction destroys the replay window.
+func deepLagCfg(snapshot bool, mutate ...func(*RecoverConfig)) func(*Config) {
+	return func(cfg *Config) {
+		cfg.MaxBatch = 2
+		rc := &RecoverConfig{
+			Link:           relink.Config{BufferCap: 8},
+			DecisionLogCap: 4,
+			Snapshot:       snapshot,
+		}
+		for _, m := range mutate {
+			m(rc)
+		}
+		cfg.Recover = rc
+	}
+}
+
+// deepLagRun drives one drop-mode minority partition deep enough that the
+// minority ends up behind by more than the decision log: n=3, process 3 cut
+// off for a full second while the majority orders a long message backlog
+// two identifiers at a time.
+func deepLagRun(t *testing.T, seed int64, pipeline bool, mutate ...func(*Config)) (c *cluster, sent []msg.ID, majoritySent []msg.ID) {
+	t.Helper()
+	const n = 3
+	var opts []func(*Config)
+	if pipeline {
+		opts = append(opts, func(cfg *Config) { cfg.Pipeline = 3 })
+	}
+	opts = append(opts, mutate...)
+	c = newCluster(t, n, VariantIndirectCT, rbcast.KindEager, netmodel.Setup1(), seed, opts...)
+
+	// No loss at every decision instant (nobody crashes, so every process
+	// counts as correct and at least one holder must exist).
+	var violations []string
+	for i := 1; i <= n; i++ {
+		i := i
+		eng := c.engines[i]
+		eng.cfg.OnDecision = func(k uint64, v consensus.Value) {
+			ids := idsOfValue(v)
+			if len(ids) == 0 {
+				return
+			}
+			holders := 0
+			for q := 1; q <= n; q++ {
+				all := true
+				for _, id := range ids {
+					if !c.engines[q].HasReceived(id) {
+						all = false
+						break
+					}
+				}
+				if all {
+					holders++
+				}
+			}
+			if holders == 0 {
+				violations = append(violations,
+					fmt.Sprintf("p%d k=%d ids=%v: no holder", i, k, ids))
+			}
+		}
+	}
+	t.Cleanup(func() {
+		if len(violations) > 0 {
+			t.Errorf("No loss violated: %v", violations)
+		}
+	})
+
+	// 20 messages per process, jittered per seed across 0-1.5 s; the cut
+	// (0.3-1.3 s) straddles most of the schedule, so the majority decides
+	// far more instances during the episode than the 4-entry log retains.
+	const cutAt, healAt = 300 * time.Millisecond, 1300 * time.Millisecond
+	for i := 1; i <= n; i++ {
+		p := stack.ProcessID(i)
+		for s := 0; s < 20; s++ {
+			at := time.Duration((int(seed)*31+i*17+s*71)%1500) * time.Millisecond
+			c.abcast(p, at, fmt.Sprintf("m-%d-%d", i, s))
+			id := msg.ID{Sender: p, Seq: uint64(s + 1)}
+			sent = append(sent, id)
+			if i != n {
+				majoritySent = append(majoritySent, id)
+			}
+		}
+	}
+	c.w.After(1, cutAt, func() { c.w.Partition(simnet.PartitionDrop, []stack.ProcessID{n}) })
+	c.w.After(1, healAt, func() { c.w.Heal() })
+	c.w.RunFor(40 * time.Second)
+	return c, sent, majoritySent
+}
+
+// TestDeepLagSnapshotCatchUp: with snapshots enabled, a minority cut off
+// (drop mode) for more than DecisionLogCap instances converges to identical
+// delivered sequences on all correct processes — full delivery, total order,
+// integrity, No loss — and the run must actually have exercised the deep-lag
+// machinery (detections at the majority, snapshots served and installed).
+func TestDeepLagSnapshotCatchUp(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		pipeline := seed%2 == 0
+		t.Run(fmt.Sprintf("seed=%d/pipeline=%v", seed, pipeline), func(t *testing.T) {
+			c, sent, _ := deepLagRun(t, seed, pipeline, deepLagCfg(true))
+			all := procs(1, 2, 3)
+			c.checkTotalOrder(t, all)
+			c.checkIntegrity(t, all)
+			// The headline: full delivery everywhere despite a lag deeper
+			// than any replay path can cover.
+			c.checkDelivers(t, all, sent)
+
+			deep, served := 0, 0
+			for p := 1; p <= 2; p++ {
+				deep += c.engines[p].cons.DeepLagCount()
+				s, _ := c.engines[p].SnapshotStats()
+				served += s
+			}
+			_, installed := c.engines[3].SnapshotStats()
+			if deep == 0 {
+				t.Fatalf("no deep-lag detection at the majority; the scenario did not leave the relay's horizon")
+			}
+			if served == 0 || installed == 0 {
+				t.Fatalf("snapshot machinery unused (served=%d installed=%d); catch-up happened some other way", served, installed)
+			}
+		})
+	}
+}
+
+// TestDeepLagRelayOnlyCannotCatchUp pins the negative: under the exact same
+// schedule with snapshots disabled, relay-only recovery cannot close a gap
+// below the decision-log floor. Safety (total order, integrity, No loss)
+// and majority liveness hold, but the minority stays pinned behind the
+// floor with messages it can never deliver.
+func TestDeepLagRelayOnlyCannotCatchUp(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		pipeline := seed%2 == 0
+		t.Run(fmt.Sprintf("seed=%d/pipeline=%v", seed, pipeline), func(t *testing.T) {
+			c, sent, majoritySent := deepLagRun(t, seed, pipeline, deepLagCfg(false))
+			all := procs(1, 2, 3)
+			c.checkTotalOrder(t, all)
+			c.checkIntegrity(t, all)
+			// Majority-side liveness is untouched.
+			c.checkDelivers(t, procs(1, 2), majoritySent)
+			// The minority is structurally stuck: its next-expected instance
+			// sits below the floor of every decision log that could help.
+			floor := c.engines[1].cons.LogFloor()
+			if got := c.engines[3].kNext; got >= floor {
+				t.Fatalf("minority kNext=%d not below relay floor %d; scenario not deep enough", got, floor)
+			}
+			if got := len(c.delivered[3]); got >= len(sent) {
+				t.Fatalf("minority delivered %d/%d messages without snapshots; relay-only should not close a deep gap",
+					got, len(sent))
+			}
+		})
+	}
+}
+
+// TestSnapshotMultiRoundChunkedTransfer forces the bounded-transfer paths:
+// with SnapshotMax=4 the gap takes several offer/accept rounds (each
+// truncated at an instance boundary, re-requested by the installer), and
+// with SnapshotChunk=2 every round is split into multiple chunk messages.
+// Catch-up must still converge to full delivery, and the installer must
+// have applied several rounds.
+func TestSnapshotMultiRoundChunkedTransfer(t *testing.T) {
+	bound := func(rc *RecoverConfig) {
+		rc.SnapshotMax = 4
+		rc.SnapshotChunk = 2
+	}
+	c, sent, _ := deepLagRun(t, 2, true, deepLagCfg(true, bound))
+	all := procs(1, 2, 3)
+	c.checkTotalOrder(t, all)
+	c.checkIntegrity(t, all)
+	c.checkDelivers(t, all, sent)
+	_, installed := c.engines[3].SnapshotStats()
+	if installed < 2 {
+		t.Fatalf("installed %d snapshot rounds, want ≥ 2 (SnapshotMax must force multi-round transfer)", installed)
+	}
+}
+
+// TestSnapshotOfferIgnoredWhenCurrent: an engine that is not behind the
+// offered boundary must ignore the offer outright — no accept, no transfer
+// state, no catch-up target.
+func TestSnapshotOfferIgnoredWhenCurrent(t *testing.T) {
+	c, sent, _ := deepLagRun(t, 1, false, deepLagCfg(true))
+	c.checkDelivers(t, procs(1, 2, 3), sent)
+	eng := c.engines[1]
+	kNext := eng.kNext
+	c.w.After(1, time.Millisecond, func() {
+		eng.onSnapOffer(2, SnapOfferMsg{Boundary: kNext})
+	})
+	c.w.RunFor(time.Second)
+	if eng.snapFrom != 0 || eng.kNext < eng.snapTarget {
+		t.Fatalf("stale offer accepted: snapFrom=%d target=%d kNext=%d", eng.snapFrom, eng.snapTarget, eng.kNext)
+	}
+}

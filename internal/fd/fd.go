@@ -13,6 +13,7 @@
 package fd
 
 import (
+	"sort"
 	"time"
 
 	"abcast/internal/stack"
@@ -46,8 +47,23 @@ func (s *subscriptions) subscribe(fn func(stack.ProcessID, bool)) func() {
 }
 
 func (s *subscriptions) notify(q stack.ProcessID, suspected bool) {
-	for _, fn := range s.subs {
-		fn(q, suspected)
+	// Notify in subscription order, not map order: several consensus
+	// instances subscribe concurrently under pipelining, and the order in
+	// which they react to a suspicion determines the order of their round
+	// messages — iterating the map directly made whole simulation runs
+	// nondeterministic (observed as run-to-run diffs in the g3 recovery
+	// curves before the bench-determinism CI gate pinned this down).
+	keys := make([]int, 0, len(s.subs))
+	for k := range s.subs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		// A callback may unsubscribe others (an instance deciding cancels
+		// its subscription); skip the ones gone by the time we reach them.
+		if fn, ok := s.subs[k]; ok {
+			fn(q, suspected)
+		}
 	}
 }
 

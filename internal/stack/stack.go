@@ -52,6 +52,11 @@ const (
 	ProtoBench ProtoID = 6 // benchmark harness control traffic
 	ProtoLink  ProtoID = 7 // reliable-link recovery layer (internal/relink)
 	ProtoSync  ProtoID = 8 // payload catch-up fetch/supply (internal/core)
+	// ProtoSnapshot carries snapshot state transfer for deep catch-up: a
+	// peer behind by more than the consensus decision log can retain is
+	// shipped the delivered prefix plus engine state instead of a decision
+	// replay (offer/accept/chunk messages, internal/core).
+	ProtoSnapshot ProtoID = 9
 )
 
 // Envelope wraps a protocol message for transport.

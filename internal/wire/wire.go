@@ -48,6 +48,10 @@ func Register() {
 		gob.Register(relink.ProbeMsg{})
 		gob.Register(core.FetchMsg{})
 		gob.Register(core.SupplyMsg{})
+		// Recovery: snapshot state transfer for deep catch-up.
+		gob.Register(core.SnapOfferMsg{})
+		gob.Register(core.SnapAcceptMsg{})
+		gob.Register(core.SnapChunkMsg{})
 		// Application payloads.
 		gob.Register(&msg.App{})
 	})
