@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"abcast/internal/adapt"
 	"abcast/internal/core"
 	"abcast/internal/fd"
 	"abcast/internal/live"
@@ -120,6 +121,21 @@ type Options struct {
 	// (0 = unlimited). See core.Config.MaxBatch; mainly useful together
 	// with Pipeline, which multiplies the resulting throughput ceiling.
 	MaxBatch int
+	// Adaptive replaces the static Pipeline/MaxBatch tuning with the
+	// feedback control plane: every process samples its own backlog,
+	// delivered rate and decision latency on a control tick and retargets
+	// its pipeline width (AIMD — grow while the backlog outruns a pipeline
+	// round and decisions keep pace, shrink when extra instances stop
+	// adding delivered throughput) and batch cap; with Recovery also on,
+	// the anti-entropy cadence of the reliable-link layer tracks measured
+	// per-link round-trip times instead of a constant. Pipeline and
+	// MaxBatch become initial values (zero MaxBatch starts at the
+	// controller's minimum batch — adaptation always runs with bounded
+	// batches). Delivery order and crash safety are unaffected: width
+	// changes only gate how many new instances may start, never cancel
+	// in-flight ones. Figure p2 (abench -fig p2) quantifies the controller
+	// against hand-picked static widths under ramped load.
+	Adaptive bool
 	// Recovery enables the drop-partition recovery subsystem on every
 	// process: a sequencing, retransmitting link layer with periodic
 	// anti-entropy beneath the protocol stack, a consensus decide-relay
@@ -226,12 +242,17 @@ func New(n int, opts Options) (*Cluster, error) {
 			if opts.Recovery || opts.Snapshot {
 				rcfg = &core.RecoverConfig{Snapshot: opts.Snapshot}
 			}
+			var acfg *adapt.Config
+			if opts.Adaptive {
+				acfg = &adapt.Config{}
+			}
 			eng, err := core.New(node, core.Config{
 				Variant:  variant,
 				RB:       rbKind,
 				Detector: c.dets[i],
 				Pipeline: opts.Pipeline,
 				MaxBatch: opts.MaxBatch,
+				Adapt:    acfg,
 				Recover:  rcfg,
 				Deliver: func(app *msg.App) {
 					d := Delivery{
@@ -305,6 +326,12 @@ type Stats struct {
 	Pending int
 	// Instances counts consensus instances consumed so far.
 	Instances uint64
+	// Window and MaxBatch are the pipeline width and per-instance batch
+	// cap currently applied by the process — the Options values for a
+	// static cluster, the controller's current targets under
+	// Options.Adaptive (0 MaxBatch = unlimited).
+	Window   int
+	MaxBatch int
 }
 
 // Stats returns process p's counters, or ok=false if p is out of range or
@@ -331,6 +358,8 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 			Delivered: st.Delivered,
 			Pending:   st.Unordered + st.OrderedQ,
 			Instances: st.Instances,
+			Window:    st.Window,
+			MaxBatch:  st.MaxBatch,
 		}
 	})
 	select {

@@ -291,6 +291,51 @@ func TestClusterPipelinedTotalOrder(t *testing.T) {
 	}
 }
 
+// TestClusterAdaptiveTotalOrder: the adaptive control plane on the live
+// (goroutine) runtime — a burst far above the serial ceiling must still be
+// delivered everywhere in one total order while the controller retargets
+// width and batch underneath, and Stats must expose the applied knobs.
+func TestClusterAdaptiveTotalOrder(t *testing.T) {
+	c, err := New(3, Options{
+		Stack:    IndirectCT,
+		Adaptive: true,
+		Latency:  200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perProc = 40
+	for i := 0; i < perProc; i++ {
+		for p := 1; p <= 3; p++ {
+			if err := c.Broadcast(p, []byte(fmt.Sprintf("m%d-%d", p, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := 3 * perProc
+	seqs := make([][]Delivery, 4)
+	for p := 1; p <= 3; p++ {
+		seqs[p] = collect(t, c, p, total)
+	}
+	for p := 2; p <= 3; p++ {
+		for i := range seqs[1] {
+			a, b := seqs[1][i], seqs[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("adaptive order diverges at %d: p1=%v:%d p%d=%v:%d",
+					i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+			}
+		}
+	}
+	st, ok := c.Stats(1, 5*time.Second)
+	if !ok {
+		t.Fatal("stats unavailable")
+	}
+	if st.Window < 1 || st.MaxBatch < 1 {
+		t.Fatalf("adaptive knobs not surfaced: %+v", st)
+	}
+}
+
 func TestStackStrings(t *testing.T) {
 	for _, s := range append(stacks(), FaultyConsensusOnIDs) {
 		if s.String() == "" || s.String()[0] == 'S' {

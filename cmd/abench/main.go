@@ -33,7 +33,10 @@
 // built-in comparison; -snapshot additionally enables snapshot state
 // transfer (implying -recover), which extends catch-up beyond the
 // decide-relay's bounded decision log to arbitrarily deep lags — figure g4
-// is the built-in comparison.
+// is the built-in comparison; -adaptive enables the adaptive control plane
+// (backlog-driven pipeline width and MaxBatch, RTT-driven anti-entropy
+// cadence) on every process — figure p2 is the built-in comparison of the
+// controller against hand-picked static widths under ramped load.
 package main
 
 import (
@@ -67,13 +70,14 @@ func run(out io.Writer, args []string) error {
 		partition = fs.String("partition", "", "partition episode override: from:until:p,q[,...][:drop] (e.g. 0.4s:1.1s:3)")
 		recovery  = fs.Bool("recover", false, "enable the recovery subsystem (retransmission, decide-relay, payload fetch) on every figure")
 		snapshot  = fs.Bool("snapshot", false, "enable snapshot state transfer for deep catch-up on every figure (implies -recover)")
+		adaptive  = fs.Bool("adaptive", false, "enable the adaptive control plane (backlog-driven pipeline width and MaxBatch, RTT-driven anti-entropy cadence) on every figure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, id := range bench.FigureIDs() {
-			fmt.Fprintf(out, "%-4s %s\n", id, bench.Figures()[id].Title)
+			fmt.Fprintf(out, "%-4s %s\n", id, bench.Figures()[id].Describe())
 		}
 		return nil
 	}
@@ -81,7 +85,7 @@ func run(out io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
 	}
-	override, err := buildOverride(*topo, *partition, *recovery, *snapshot)
+	override, err := buildOverride(*topo, *partition, *recovery, *snapshot, *adaptive)
 	if err != nil {
 		return err
 	}
@@ -117,15 +121,19 @@ func run(out io.Writer, args []string) error {
 	return nil
 }
 
-// buildOverride turns the -topo, -partition, -recover and -snapshot flags
-// into an experiment post-processor (nil when no flag is set).
-func buildOverride(topo, partition string, recovery, snapshot bool) (func(*bench.Experiment), error) {
+// buildOverride turns the -topo, -partition, -recover, -snapshot and
+// -adaptive flags into an experiment post-processor (nil when no flag is
+// set).
+func buildOverride(topo, partition string, recovery, snapshot, adaptive bool) (func(*bench.Experiment), error) {
 	var steps []func(*bench.Experiment)
 	if recovery || snapshot {
 		steps = append(steps, func(e *bench.Experiment) {
 			e.Recovery = true
 			e.Snapshot = e.Snapshot || snapshot
 		})
+	}
+	if adaptive {
+		steps = append(steps, func(e *bench.Experiment) { e.Adaptive = true })
 	}
 	if topo != "" {
 		params, err := bench.NamedParams(topo)

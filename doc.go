@@ -113,6 +113,45 @@
 // relay-only recovery flatlines and only snapshot state transfer converges.
 // `abench -recover` and `-snapshot` impose the subsystems on any figure.
 //
+// # Adaptive control plane
+//
+// Every performance knob above is a static number, and the right value is
+// workload- and topology-dependent: the pipeline ablations show the best W
+// differs between a metro network and the WAN. Options.Adaptive (engine
+// side: core.Config.Adapt) replaces the hand-tuning with feedback: each
+// process samples its own signals — unordered backlog, delivered rate,
+// smoothed propose→decide latency, per-link round-trip estimates from the
+// relink probe/ack exchanges — on a control tick and retargets its pipeline
+// width and MaxBatch (AIMD: grow W while the backlog outruns a pipeline
+// round and decisions keep pace, revert growth that adds no delivered
+// throughput, decay toward serial when the backlog drains; batches escalate
+// only once the window is exhausted) plus, with Recovery on, the relink
+// anti-entropy cadence (a multiple of the slowest link's measured RTT
+// instead of a constant). Width changes only gate how many new consensus
+// instances may start — in-flight instances always drain and release their
+// identifier claims at consumption — so total order and crash safety are
+// exactly the static engine's. Figure p2 (`abench -fig p2`) ramps the
+// offered load on the metro and WAN topologies and shows the controller
+// matching the best hand-picked static W on both without retuning;
+// `abench -adaptive` imposes the controller on any figure.
+//
+// The tuning-knob matrix (defaults in parentheses; each knob also exists on
+// core.Config for engine-level embedding):
+//
+//	knob       (default)     effect
+//	Pipeline   (1)           consensus instances run concurrently; raises
+//	                         the ordering ceiling W× when MaxBatch binds
+//	MaxBatch   (0 = ∞)       identifiers ordered per instance; bounds
+//	                         per-instance work, trades burst latency
+//	Recovery   (off)         relink retransmission + anti-entropy,
+//	                         decide-relay, payload fetch: drop-mode cuts
+//	                         become survivable
+//	Snapshot   (off)         state transfer past the decision-log horizon
+//	                         (implies Recovery): arbitrarily deep lags heal
+//	Adaptive   (off)         backlog-driven W/MaxBatch retargeting plus
+//	                         RTT-driven anti-entropy cadence; Pipeline and
+//	                         MaxBatch become initial values
+//
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
 // reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"abcast/internal/adapt"
 	"abcast/internal/core"
 	"abcast/internal/fd"
 	"abcast/internal/msg"
@@ -38,6 +39,17 @@ type Experiment struct {
 	Throughput float64 // abroadcasts per second, summed over all processes
 	Payload    int     // payload bytes per message
 
+	// Load, when non-empty, replaces the constant Throughput with a
+	// time-varying offered-load schedule: phase i holds its aggregate rate
+	// for its duration, and the last phase's rate holds beyond the
+	// schedule's end (so a fixed message count can always be generated).
+	// Zero-rate phases are silent gaps — senders skip to the next phase
+	// boundary. The per-sender Poisson clocks are unchanged; only the rate
+	// each gap is drawn at follows the schedule, sampled at the sender's
+	// current clock. Figure p2 uses a quiet→burst→quiet shape to exercise
+	// the adaptive control plane against static pipeline widths.
+	Load []LoadPhase
+
 	Messages int   // messages measured (after warmup)
 	Warmup   int   // messages excluded from statistics
 	Seed     int64 // deterministic workload seed
@@ -49,6 +61,14 @@ type Experiment struct {
 	// Pipeline is the consensus pipeline width W (0 or 1 = the paper's
 	// serial Algorithm 1); see core.Config.Pipeline.
 	Pipeline int
+
+	// Adaptive enables the feedback control plane on every process
+	// (core.Config.Adapt with defaults): pipeline width and MaxBatch are
+	// retargeted from the observed backlog, and — with Recovery on — the
+	// anti-entropy cadence from measured per-link RTTs. Pipeline/MaxBatch
+	// become initial values. Off by default, so every static figure
+	// measures the hand-tuned stack.
+	Adaptive bool
 
 	// PartitionFrom/PartitionUntil, when 0 < PartitionFrom <
 	// PartitionUntil, inject a partition episode: at virtual instant
@@ -105,8 +125,11 @@ type Result struct {
 
 // Run executes one experiment on the simulator.
 func Run(e Experiment) (Result, error) {
-	if e.N < 1 || e.Throughput <= 0 || e.Messages <= 0 {
+	if e.N < 1 || e.Messages <= 0 || (e.Throughput <= 0 && len(e.Load) == 0) {
 		return Result{}, fmt.Errorf("bench: invalid experiment %+v", e)
+	}
+	if err := validLoad(e.Load); err != nil {
+		return Result{}, err
 	}
 	if e.MaxVirtual <= 0 {
 		e.MaxVirtual = 30 * time.Second
@@ -150,6 +173,10 @@ func Run(e Experiment) (Result, error) {
 				Snapshot:       e.Snapshot,
 			}
 		}
+		var acfg *adapt.Config
+		if e.Adaptive {
+			acfg = &adapt.Config{}
+		}
 		eng, err := core.New(node, core.Config{
 			Variant:      e.Variant,
 			RB:           e.RB,
@@ -157,6 +184,7 @@ func Run(e Experiment) (Result, error) {
 			RcvCheckCost: e.Params.RcvCheckPerID,
 			MaxBatch:     e.MaxBatch,
 			Pipeline:     e.Pipeline,
+			Adapt:        acfg,
 			Recover:      rcfg,
 			Deliver: func(app *msg.App) {
 				deliveredAt[i][app.ID] = virt(w)
@@ -168,20 +196,14 @@ func Run(e Experiment) (Result, error) {
 		engines[i] = eng
 	}
 
-	// Symmetric Poisson workload: each process broadcasts at
-	// Throughput/N, with exponential inter-arrival times.
+	// Symmetric Poisson workload: round-robin senders, each keeping its
+	// own Poisson clock, with exponential inter-arrival times drawn at the
+	// offered rate current at that clock (constant, or following the Load
+	// schedule).
 	rng := rand.New(rand.NewSource(e.Seed*6364136223846793005 + 1442695040888963407))
-	perProc := e.Throughput / float64(e.N)
-	next := make([]time.Duration, e.N+1)
 	var lastSend time.Duration
-	for k := 0; k < total; k++ {
-		// Round-robin senders; each keeps its own Poisson clock.
-		p := stack.ProcessID(k%e.N + 1)
-		// Exponential inter-arrival with mean 1/perProc on each sender's
-		// own clock.
-		gap := time.Duration(rng.ExpFloat64() / perProc * float64(time.Second))
-		next[p] += gap
-		at := next[p]
+	for k, ev := range sendSchedule(&e, rng, total) {
+		p, at := ev.p, ev.at
 		if at > lastSend {
 			lastSend = at
 		}

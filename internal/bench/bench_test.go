@@ -124,13 +124,15 @@ func TestFiguresComplete(t *testing.T) {
 		"6a", "6b", "6c",
 		"7a", "7b",
 		"g1", "g2", "g3", "g4",
+		"p2",
 	}
 	// Most figures compare two stacks over ≥4 x values; g3 is the recovery
-	// comparison (off / on / on-with-tiny-buffers) and g4 the deep-lag one
+	// comparison (off / on / on-with-tiny-buffers), g4 the deep-lag one
 	// (relay-only / snapshot), each over the three pipeline widths that
-	// matter.
-	wantStacks := map[string]int{"g3": 3}
-	minPoints := map[string]int{"g3": 3, "g4": 3}
+	// matter, and p2 the adaptive comparison (static W=1/4/8 / adaptive)
+	// over its two topologies.
+	wantStacks := map[string]int{"g3": 3, "p2": 4}
+	minPoints := map[string]int{"g3": 3, "g4": 3, "p2": 2}
 	for _, id := range want {
 		spec, ok := figs[id]
 		if !ok {

@@ -33,6 +33,12 @@ type StackSpec struct {
 	// gap (figure g4 compares relay-only against it).
 	DecisionLogCap int
 	Snapshot       bool
+	// Pipeline fixes the curve's pipeline width when a figure compares
+	// widths as curves instead of sweeping them on the x axis, and
+	// Adaptive hands the width (and batch cap) to the feedback control
+	// plane instead. Figure p2 pits static widths against the controller.
+	Pipeline int
+	Adaptive bool
 }
 
 // Metric selects what a figure's cells report.
@@ -53,8 +59,11 @@ const (
 // axis, a set of stacks (curves), and a builder mapping (stack, x) to an
 // experiment.
 type FigureSpec struct {
-	ID     string
-	Title  string
+	ID    string
+	Title string
+	// Desc is the short one-liner `abench -list` prints (falls back to
+	// Title when empty); it is not part of the byte-stable JSON output.
+	Desc   string
 	XLabel string
 	Metric Metric // what the cells report (default MetricLatency)
 	Xs     []float64
@@ -296,6 +305,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "s1",
 		Title:  "EXTENSION: latency vs system size, 200 msg/s, 1000 B, Setup 1",
+		Desc:   "scalability extension: latency vs system size n",
 		XLabel: "processes [n]",
 		Xs:     []float64{3, 5, 7, 9},
 		Stacks: []StackSpec{stackIndirect, stackOnMsgs},
@@ -325,6 +335,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "p1",
 		Title:  "EXTENSION: delivered throughput vs pipeline width W, n=3, offered 3000 msg/s, 1 B, Setup 2 @ 1 ms links, IndirectCT",
+		Desc:   "pipeline ablation: delivered rate vs W on metro 1 ms links, capped vs unbounded batch",
 		XLabel: "pipeline width [W]",
 		Metric: MetricRate,
 		Xs:     []float64{1, 2, 4, 8},
@@ -362,6 +373,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "g1",
 		Title:  "EXTENSION: latency vs pipeline width W, n=3 across 3 WAN sites (1 ms intra, 40-126 ms inter), 100 msg/s, 100 B, IndirectCT",
+		Desc:   "WAN: latency vs pipeline width W across 3 sites",
 		XLabel: "pipeline width [W]",
 		Xs:     []float64{1, 2, 4, 8},
 		Stacks: []StackSpec{
@@ -399,6 +411,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "g2",
 		Title:  "EXTENSION: delivered throughput vs pipeline width W across a minority-site partition (0.4-1.1 s, site of p3 cut, delay semantics), n=3 WAN, offered 120 msg/s, 100 B, IndirectCT",
+		Desc:   "WAN: delivered rate across a delay-mode minority partition-and-heal",
 		XLabel: "pipeline width [W]",
 		Metric: MetricRate,
 		Xs:     []float64{1, 2, 4, 8},
@@ -442,6 +455,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "g3",
 		Title:  "EXTENSION: delivered throughput across a DROP-mode partition-and-heal (0.4-1.1 s, site of p3 black-holed), with vs without recovery, n=3 WAN, offered 120 msg/s, 100 B, IndirectCT, MaxBatch=4",
+		Desc:   "WAN drop-mode partition: recovery off vs on vs eviction-forced relay",
 		XLabel: "pipeline width [W]",
 		Metric: MetricRate,
 		Xs:     []float64{1, 2, 4},
@@ -493,6 +507,7 @@ func Figures() map[string]FigureSpec {
 	figs = append(figs, FigureSpec{
 		ID:     "g4",
 		Title:  "EXTENSION: delivered throughput across a DROP-mode partition-and-heal with the minority beyond the decision-log horizon (log cap 8, 16-msg buffers): relay-only vs snapshot state transfer, n=3 WAN, offered 120 msg/s, 100 B, IndirectCT, MaxBatch=4",
+		Desc:   "WAN deep-lag drop partition: relay-only vs snapshot state transfer",
 		XLabel: "pipeline width [W]",
 		Metric: MetricRate,
 		Xs:     []float64{1, 2, 4},
@@ -526,6 +541,71 @@ func Figures() map[string]FigureSpec {
 				// The relay-only curve never reaches full delivery, so it
 				// always runs to the horizon; keep it short.
 				MaxVirtual: 20 * time.Second,
+			}
+		},
+	})
+	// Extension: figure p2 closes the loop the static ablations opened —
+	// p1 and g1 show that the best hand-picked pipeline width differs
+	// between the 1 ms metro network and the 3-site WAN, so no single
+	// static W wins everywhere. p2 offers a ramped load (quiet → burst →
+	// quiet; rates scaled to each topology's capacity, since a WAN orders
+	// two orders of magnitude slower than a metro LAN) and compares static
+	// W=1/4/8 against the adaptive control plane, which starts serial on
+	// both topologies with identical controller settings and must discover
+	// the width from its backlog. The delivered-rate metric rewards
+	// draining the burst quickly: the adaptive curve is expected within
+	// 10% of (or above) the best static curve on *both* x values — the
+	// "no per-topology tuning" claim of the control plane.
+	figs = append(figs, FigureSpec{
+		ID:     "p2",
+		Title:  "EXTENSION: delivered throughput under ramped offered load (quiet-burst-quiet): static pipeline widths vs adaptive control plane, n=3, 100 B, IndirectCT, static MaxBatch=4; x=1: Setup 2 @ 1 ms links (burst 6000 msg/s), x=2: wan3 (burst 320 msg/s)",
+		Desc:   "ramped load: adaptive control plane vs static W=1/4/8, metro and wan3",
+		XLabel: "topology [1=metro, 2=wan3]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2},
+		Stacks: []StackSpec{
+			{Label: "Static W=1", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Pipeline: 1},
+			{Label: "Static W=4", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Pipeline: 4},
+			{Label: "Static W=8", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Pipeline: 8},
+			{Label: "Adaptive", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, Adaptive: true},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			params := PipelineParams()
+			load := []LoadPhase{
+				{Duration: 300 * time.Millisecond, Throughput: 500},
+				{Duration: 700 * time.Millisecond, Throughput: 6000},
+				{Duration: 500 * time.Millisecond, Throughput: 500},
+			}
+			maxVirtual := 20 * time.Second
+			if x == 2 {
+				params = netmodel.WAN3Sites()
+				load = []LoadPhase{
+					{Duration: 300 * time.Millisecond, Throughput: 40},
+					{Duration: 700 * time.Millisecond, Throughput: 320},
+					{Duration: 500 * time.Millisecond, Throughput: 40},
+				}
+				maxVirtual = 60 * time.Second
+			}
+			// Quick runs shrink the schedule, not the rates, so the shape —
+			// and the controller's job — is preserved at every scale; the
+			// message count is the schedule's integral.
+			load = scaleLoad(load, scale)
+			measured := loadTotal(load)
+			return Experiment{
+				Name:       fmt.Sprintf("%s x=%.0f ramped", s.Label, x),
+				N:          3,
+				Params:     params,
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Load:       load,
+				Payload:    100,
+				Messages:   measured,
+				Warmup:     measured / 8,
+				Seed:       seed,
+				MaxBatch:   s.MaxBatch,
+				Pipeline:   s.Pipeline,
+				Adaptive:   s.Adaptive,
+				MaxVirtual: maxVirtual,
 			}
 		},
 	})
@@ -565,6 +645,15 @@ func (f FigureSpec) WithOverride(fn func(*Experiment)) FigureSpec {
 		return e
 	}
 	return f
+}
+
+// Describe returns the one-line description `abench -list` prints: the
+// short Desc when one is set, the full Title otherwise.
+func (f FigureSpec) Describe() string {
+	if f.Desc != "" {
+		return f.Desc
+	}
+	return f.Title
 }
 
 // FigureIDs returns all figure ids in display order.

@@ -1,0 +1,128 @@
+package bench
+
+// Time-varying offered load. The paper's workload is stationary — every
+// figure offers one constant aggregate rate — which cannot express the
+// scenario the adaptive control plane exists for: traffic that ramps and
+// bursts, where any static pipeline width is wrong part of the time. A
+// LoadPhase schedule keeps the harness's symmetric per-sender Poisson
+// clocks and only varies the rate each inter-arrival gap is drawn at, so
+// constant-load figures are bit-for-bit unaffected and a scheduled figure
+// stays deterministic under its seed.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+// LoadPhase is one segment of a time-varying offered-load schedule: the
+// aggregate rate (summed over all processes, like Experiment.Throughput)
+// held for the phase's duration. A zero Throughput is a silent gap.
+type LoadPhase struct {
+	Duration   time.Duration
+	Throughput float64
+}
+
+// validLoad checks a schedule: positive durations, non-negative rates, and
+// a positive final rate (the last phase's rate holds beyond the schedule's
+// end, so a zero one could never finish generating the message count).
+func validLoad(load []LoadPhase) error {
+	for i, ph := range load {
+		if ph.Duration <= 0 {
+			return fmt.Errorf("bench: load phase %d has non-positive duration %v", i, ph.Duration)
+		}
+		if ph.Throughput < 0 {
+			return fmt.Errorf("bench: load phase %d has negative throughput %v", i, ph.Throughput)
+		}
+	}
+	if n := len(load); n > 0 && load[n-1].Throughput <= 0 {
+		return fmt.Errorf("bench: last load phase must have positive throughput")
+	}
+	return nil
+}
+
+// offeredAt returns the aggregate offered rate at instant t and, for use
+// when that rate is zero, the instant the current phase ends. Beyond the
+// schedule the last phase's rate holds; with no schedule the constant
+// Throughput does.
+func (e *Experiment) offeredAt(t time.Duration) (rate float64, boundary time.Duration) {
+	if len(e.Load) == 0 {
+		return e.Throughput, 0
+	}
+	var end time.Duration
+	for _, ph := range e.Load {
+		end += ph.Duration
+		if t < end {
+			return ph.Throughput, end
+		}
+	}
+	return e.Load[len(e.Load)-1].Throughput, 0
+}
+
+// sendEvent is one scheduled abroadcast: which process sends, and when.
+type sendEvent struct {
+	p  stack.ProcessID
+	at time.Duration
+}
+
+// sendSchedule draws the workload: total sends, round-robin over senders,
+// each sender advancing its own Poisson clock with exponential gaps drawn
+// at the offered rate current at that clock (silent phases are skipped to
+// their boundary). With no Load schedule this reproduces the original
+// constant-rate generator exactly — same rng call sequence, same
+// arithmetic — which the byte-stable BENCH_<rev>.json trajectory depends
+// on.
+func sendSchedule(e *Experiment, rng *rand.Rand, total int) []sendEvent {
+	next := make([]time.Duration, e.N+1)
+	out := make([]sendEvent, 0, total)
+	for k := 0; k < total; k++ {
+		p := stack.ProcessID(k%e.N + 1)
+		t := next[p]
+		rate, boundary := e.offeredAt(t)
+		for rate <= 0 {
+			t = boundary
+			rate, boundary = e.offeredAt(t)
+		}
+		perProc := rate / float64(e.N)
+		gap := time.Duration(rng.ExpFloat64() / perProc * float64(time.Second))
+		next[p] = t + gap
+		out = append(out, sendEvent{p: p, at: next[p]})
+	}
+	return out
+}
+
+// scaleLoad scales every phase duration, preserving the rates: the
+// schedule keeps its shape while quick runs (scale < 1) shorten it and
+// oversampled runs (scale > 1) lengthen it, so the message count implied by
+// the integral tracks scale exactly like the other figures' counts do.
+func scaleLoad(load []LoadPhase, scale float64) []LoadPhase {
+	if scale <= 0 || scale == 1 {
+		return load
+	}
+	out := make([]LoadPhase, len(load))
+	for i, ph := range load {
+		d := time.Duration(float64(ph.Duration) * scale)
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		out[i] = LoadPhase{Duration: d, Throughput: ph.Throughput}
+	}
+	return out
+}
+
+// loadTotal returns the expected number of sends a schedule generates over
+// its phases (the integral of rate over time), floored at a sane minimum so
+// tiny scales still measure something.
+func loadTotal(load []LoadPhase) int {
+	var sum float64
+	for _, ph := range load {
+		sum += ph.Throughput * ph.Duration.Seconds()
+	}
+	n := int(sum)
+	if n < 60 {
+		n = 60
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package bench
+
+// Unit tests of the time-varying offered-load schedule: rate lookup, phase
+// skipping, validation, the constant-load equivalence the byte-stable bench
+// trajectory depends on, and the scaled-schedule helpers figure p2 uses.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestOfferedAt: phase lookup, zero-rate boundaries, hold-last beyond the
+// schedule, and the constant fallback.
+func TestOfferedAt(t *testing.T) {
+	e := Experiment{
+		N: 3,
+		Load: []LoadPhase{
+			{Duration: 100 * time.Millisecond, Throughput: 0},
+			{Duration: 100 * time.Millisecond, Throughput: 1000},
+			{Duration: 100 * time.Millisecond, Throughput: 200},
+		},
+	}
+	cases := []struct {
+		at       time.Duration
+		rate     float64
+		boundary time.Duration
+	}{
+		{0, 0, 100 * time.Millisecond},
+		{50 * time.Millisecond, 0, 100 * time.Millisecond},
+		{100 * time.Millisecond, 1000, 200 * time.Millisecond},
+		{150 * time.Millisecond, 1000, 200 * time.Millisecond},
+		{250 * time.Millisecond, 200, 300 * time.Millisecond},
+		{time.Second, 200, 0}, // beyond the schedule: last rate holds
+	}
+	for _, c := range cases {
+		rate, boundary := e.offeredAt(c.at)
+		if rate != c.rate || boundary != c.boundary {
+			t.Fatalf("offeredAt(%v) = (%v, %v), want (%v, %v)", c.at, rate, boundary, c.rate, c.boundary)
+		}
+	}
+	flat := Experiment{N: 3, Throughput: 500}
+	if rate, _ := flat.offeredAt(time.Hour); rate != 500 {
+		t.Fatalf("constant fallback broken: %v", rate)
+	}
+}
+
+// TestValidLoad: schedules must have positive durations, non-negative
+// rates, and a positive final rate.
+func TestValidLoad(t *testing.T) {
+	ok := []LoadPhase{{Duration: time.Second, Throughput: 0}, {Duration: time.Second, Throughput: 10}}
+	if err := validLoad(ok); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := [][]LoadPhase{
+		{{Duration: 0, Throughput: 10}},
+		{{Duration: time.Second, Throughput: -1}},
+		{{Duration: time.Second, Throughput: 10}, {Duration: time.Second, Throughput: 0}},
+	}
+	for i, load := range bad {
+		if err := validLoad(load); err == nil {
+			t.Fatalf("invalid schedule %d accepted", i)
+		}
+	}
+}
+
+// TestSendScheduleFollowsPhases: no sends land inside a silent phase, the
+// burst phase is denser than the tail, and the same seed reproduces the
+// same schedule exactly.
+func TestSendScheduleFollowsPhases(t *testing.T) {
+	e := Experiment{
+		N: 3,
+		Load: []LoadPhase{
+			{Duration: 200 * time.Millisecond, Throughput: 0},
+			{Duration: 500 * time.Millisecond, Throughput: 2000},
+			{Duration: 500 * time.Millisecond, Throughput: 100},
+		},
+	}
+	gen := func() []sendEvent {
+		rng := rand.New(rand.NewSource(42))
+		return sendSchedule(&e, rng, 600)
+	}
+	sched := gen()
+	if len(sched) != 600 {
+		t.Fatalf("schedule has %d events, want 600", len(sched))
+	}
+	burst, tail := 0, 0
+	for _, ev := range sched {
+		if ev.at < 200*time.Millisecond {
+			t.Fatalf("send at %v inside the silent phase", ev.at)
+		}
+		switch {
+		case ev.at < 700*time.Millisecond:
+			burst++
+		case ev.at < 1200*time.Millisecond:
+			tail++
+		}
+	}
+	// ~1000 expected in the burst half-second vs ~50 in the tail one.
+	if burst < tail*5 {
+		t.Fatalf("burst not denser than tail: %d vs %d sends", burst, tail)
+	}
+	again := gen()
+	for i := range sched {
+		if sched[i] != again[i] {
+			t.Fatalf("schedule not deterministic at event %d: %+v vs %+v", i, sched[i], again[i])
+		}
+	}
+}
+
+// TestSendScheduleConstantMatchesLegacy: with no Load schedule the
+// generator must reproduce the original constant-rate arithmetic exactly —
+// same rng draws, same durations — which is what keeps the pinned
+// BENCH_<rev>.json byte-identical across this refactor.
+func TestSendScheduleConstantMatchesLegacy(t *testing.T) {
+	e := Experiment{N: 3, Throughput: 900}
+	rng := rand.New(rand.NewSource(7))
+	sched := sendSchedule(&e, rng, 300)
+
+	legacy := rand.New(rand.NewSource(7))
+	perProc := e.Throughput / float64(e.N)
+	next := make([]time.Duration, e.N+1)
+	for k := 0; k < 300; k++ {
+		p := k%e.N + 1
+		gap := time.Duration(legacy.ExpFloat64() / perProc * float64(time.Second))
+		next[p] += gap
+		if sched[k].p != 0 && int(sched[k].p) != p || sched[k].at != next[p] {
+			t.Fatalf("event %d diverged from the legacy generator: %+v vs (p%d, %v)", k, sched[k], p, next[p])
+		}
+	}
+}
+
+// TestScaleLoadAndTotal: scaling shrinks durations, preserves rates, and
+// the integral tracks it.
+func TestScaleLoadAndTotal(t *testing.T) {
+	load := []LoadPhase{
+		{Duration: 400 * time.Millisecond, Throughput: 1000},
+		{Duration: 600 * time.Millisecond, Throughput: 500},
+	}
+	if got := loadTotal(load); got != 700 {
+		t.Fatalf("loadTotal = %d, want 700", got)
+	}
+	half := scaleLoad(load, 0.5)
+	if half[0].Duration != 200*time.Millisecond || half[0].Throughput != 1000 {
+		t.Fatalf("scaleLoad broke phase 0: %+v", half[0])
+	}
+	if got := loadTotal(half); got != 350 {
+		t.Fatalf("scaled loadTotal = %d, want 350", got)
+	}
+	if got := loadTotal(nil); got != 60 {
+		t.Fatalf("empty-schedule floor = %d, want 60", got)
+	}
+}

@@ -405,6 +405,25 @@ func (s *Service) PruneBelow(k uint64) {
 // monitoring).
 func (s *Service) InstanceCount() int { return len(s.insts) }
 
+// Undecided reports the number of retained instances this process has
+// proposed to whose decision has not arrived yet — the consensus-level
+// congestion signal of the adaptive control plane (core.Engine.Observe):
+// a count persistently at the pipeline width while the backlog grows means
+// the instances themselves, not the supply of proposals, are the
+// bottleneck. It is also the window-retarget boundary: a width change never
+// touches these instances (they drain at their own pace and release their
+// claimed identifiers only when consumed), it only changes how many new
+// ones may start.
+func (s *Service) Undecided() int {
+	n := 0
+	for _, inst := range s.insts {
+		if inst.proposed && !inst.decided {
+			n++
+		}
+	}
+	return n
+}
+
 // receive routes an incoming consensus message to its instance.
 func (s *Service) receive(from stack.ProcessID, k uint64, m stack.Message) {
 	if pm, ok := m.(PiggyMsg); ok {

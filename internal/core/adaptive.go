@@ -1,0 +1,174 @@
+package core
+
+// Adaptive control plane: the engine-side half of internal/adapt.
+//
+// The controller itself (internal/adapt) is a pure state machine; this file
+// owns everything stateful around it: the sampling cadence (a periodic timer
+// on the process's event loop), the observation hook that snapshots the
+// engine's signals, and the actuators — Retarget for the pipeline width and
+// batch cap, relink.Link.SetInterval for the anti-entropy cadence.
+//
+// Retargeting the window is safe *between* instances only, and that is the
+// only place it happens: growing the window merely allows maybePropose to
+// start more instances, and shrinking it merely stops new instances from
+// starting until enough in-flight ones have been consumed. In-flight
+// proposals are never cancelled — their claimed identifiers are released
+// exclusively by consumePending when their instance is consumed, exactly as
+// in the static engine, so a width change can never lose an identifier that
+// was waiting to be recycled into a later instance (the property
+// TestAdaptivePartitionKeepsContract and TestRetargetShrinkLosesNothing
+// pin). MaxBatch is read per selectBatch call, so a batch retarget simply
+// applies from the next proposal on.
+
+import (
+	"time"
+
+	"abcast/internal/adapt"
+	"abcast/internal/stats"
+)
+
+// decLatAlpha smooths the propose→decide latency signal (TCP-SRTT-style
+// 1/8 gain, like the relink RTT estimate it is paired with).
+const decLatAlpha = 0.125
+
+// Observation is one snapshot of the engine's control-plane signals — the
+// observation hook the adaptive controller (and any external monitor)
+// samples. All fields are cheap to compute; taking an Observation never
+// perturbs the engine.
+type Observation struct {
+	// Backlog is the number of received-but-unordered identifiers not
+	// claimed by any in-flight proposal: the work the pipeline has not
+	// picked up yet. (Claimed identifiers can transiently exceed the
+	// unordered set when another process's proposal orders an identifier
+	// we still hold claimed; the count clamps at zero.)
+	Backlog int
+	// Delivered is the cumulative adelivered message count.
+	Delivered int
+	// InFlight is the number of outstanding consensus proposals.
+	InFlight int
+	// Window and MaxBatch are the currently applied actuator values.
+	Window   int
+	MaxBatch int
+	// DecisionLatency is the smoothed propose→decide latency of this
+	// process's own proposals (0 until the first decision).
+	DecisionLatency time.Duration
+	// ConsensusOpen is the number of consensus instances this process has
+	// proposed to that are still undecided.
+	ConsensusOpen int
+	// LinkRTTMax is the slowest link's smoothed probe→digest round-trip
+	// estimate from the relink layer (0 when recovery is off or no
+	// exchange has completed).
+	LinkRTTMax time.Duration
+}
+
+// Observe snapshots the engine's control-plane signals.
+func (e *Engine) Observe() Observation {
+	backlog := e.unordered.Len() - len(e.claimed)
+	if backlog < 0 {
+		backlog = 0
+	}
+	o := Observation{
+		Backlog:         backlog,
+		Delivered:       len(e.delivered),
+		InFlight:        len(e.inFlight),
+		Window:          e.window,
+		MaxBatch:        e.maxBatch,
+		DecisionLatency: time.Duration(e.decLat.Value()),
+		ConsensusOpen:   e.cons.Undecided(),
+	}
+	if e.link != nil {
+		o.LinkRTTMax = e.link.MaxRTT()
+	}
+	return o
+}
+
+// Retarget applies a new pipeline width and per-instance batch cap, the
+// safe between-instances path: growth takes effect immediately (the engine
+// tries to start instances for the new slots), shrinkage drains — in-flight
+// proposals run to consumption and keep their identifier claims until then,
+// so no identifier awaiting recycling is lost. window is clamped to ≥ 1;
+// maxBatch ≤ 0 means unlimited.
+func (e *Engine) Retarget(window, maxBatch int) {
+	if window < 1 {
+		window = 1
+	}
+	if maxBatch < 0 {
+		maxBatch = 0
+	}
+	if window == e.window && maxBatch == e.maxBatch {
+		return
+	}
+	e.retargets++
+	grow := window > e.window
+	e.window = window
+	e.maxBatch = maxBatch
+	if grow {
+		e.maybePropose()
+	}
+}
+
+// initAdapt builds the controller and normalizes the initial actuator
+// values into its bounds (called from New when cfg.Adapt is set). The
+// control loop itself is armed at the end of New, once construction can no
+// longer fail: a timer armed earlier would fire on a half-built engine if a
+// later wiring step returned an error.
+func (e *Engine) initAdapt() {
+	e.ctrl = adapt.NewController(*e.cfg.Adapt)
+	acfg := e.ctrl.Config()
+	if e.window < acfg.MinWindow {
+		e.window = acfg.MinWindow
+	}
+	if e.window > acfg.MaxWindow {
+		e.window = acfg.MaxWindow
+	}
+	if e.maxBatch <= 0 {
+		// Unbounded batching absorbs any backlog into ever-larger
+		// proposals, hiding the signal the window controller steers by;
+		// adaptive engines always run with a bounded batch.
+		e.maxBatch = acfg.MinBatch
+	}
+	if e.maxBatch < acfg.MinBatch {
+		e.maxBatch = acfg.MinBatch
+	}
+	if e.maxBatch > acfg.MaxBatchCap {
+		e.maxBatch = acfg.MaxBatchCap
+	}
+	e.proposedAt = make(map[uint64]time.Time)
+	e.decLat = stats.NewEwma(decLatAlpha)
+}
+
+// armAdapt schedules the next control tick. Unlike the recovery timers the
+// control loop never quiesces: an idle engine still samples, which is what
+// lets the window decay back to serial after a burst.
+func (e *Engine) armAdapt() {
+	e.ctx.SetTimer(e.ctrl.Config().Interval, e.adaptTick)
+}
+
+// adaptTick runs one control-loop round: observe, ask the controller for
+// targets, actuate, re-arm.
+func (e *Engine) adaptTick() {
+	o := e.Observe()
+	t := e.ctrl.Tick(adapt.Sample{
+		Now:             e.ctx.Now(),
+		Backlog:         o.Backlog,
+		Delivered:       o.Delivered,
+		InFlight:        o.InFlight,
+		Window:          o.Window,
+		MaxBatch:        o.MaxBatch,
+		DecisionLatency: o.DecisionLatency,
+		LinkRTTMax:      o.LinkRTTMax,
+	})
+	e.Retarget(t.Window, t.MaxBatch)
+	if e.link != nil && t.AntiEntropy > 0 {
+		e.link.SetInterval(t.AntiEntropy)
+	}
+	e.armAdapt()
+}
+
+// pipelined reports whether this engine can face consensus instances beyond
+// the serial liveness argument: either it was configured with a static
+// window above 1, or the adaptive controller may widen (or may already have
+// widened) the window at runtime.
+func (e *Engine) pipelined() bool {
+	return e.window > 1 || e.ctrl != nil
+}

@@ -33,12 +33,14 @@ import (
 	"fmt"
 	"time"
 
+	"abcast/internal/adapt"
 	"abcast/internal/consensus"
 	"abcast/internal/fd"
 	"abcast/internal/msg"
 	"abcast/internal/rbcast"
 	"abcast/internal/relink"
 	"abcast/internal/stack"
+	"abcast/internal/stats"
 )
 
 // Variant selects an atomic broadcast stack.
@@ -109,6 +111,17 @@ type Config struct {
 	// MaxBatch/instance-latency, and W concurrent instances multiply that
 	// ceiling (see the pipeline ablation in internal/bench).
 	Pipeline int
+	// Adapt, when non-nil, enables the adaptive control plane: a feedback
+	// controller (internal/adapt) samples the engine's signals every
+	// control tick — unordered backlog, delivered rate, smoothed
+	// propose→decide latency, per-link RTT estimates — and retargets the
+	// pipeline width and MaxBatch between instances (AIMD on backlog), plus
+	// the relink anti-entropy cadence when Recover is also set. Pipeline
+	// and MaxBatch become the controller's *initial* values; zero MaxBatch
+	// starts at the controller's minimum batch, since unbounded batching
+	// hides the backlog signal the controller steers by. See
+	// Engine.Observe, Engine.Retarget and docs/ARCHITECTURE.md.
+	Adapt *adapt.Config
 	// Recover, when non-nil, enables the recovery subsystem — the relink
 	// reliable-link layer, the consensus decide-relay and the engine's
 	// payload fetch — which restores the model's reliable-channel
@@ -143,13 +156,22 @@ type Engine struct {
 
 	kNext    uint64                     // next consensus instance to consume
 	kPropose uint64                     // next consensus instance to propose to (≥ kNext)
-	window   int                        // pipeline width W (≥ 1)
+	window   int                        // pipeline width W (≥ 1; retargetable, see Retarget)
+	maxBatch int                        // per-instance id cap (0 = unlimited; retargetable)
 	inFlight map[uint64]msg.IDSet       // our outstanding proposals, by instance
 	claimed  map[msg.ID]bool            // ids inside some outstanding proposal
 	needed   map[uint64]bool            // foreign-live instances we have not joined
 	pending  map[uint64]consensus.Value // decisions not yet consumed
 
 	maxInFlight int // high-water mark of len(inFlight), for tests/diagnostics
+
+	// Adaptive control plane state (Config.Adapt): the controller, the
+	// propose instants feeding the decision-latency signal, and a retarget
+	// counter for tests. See adaptive.go.
+	ctrl       *adapt.Controller
+	proposedAt map[uint64]time.Time
+	decLat     stats.Ewma
+	retargets  int
 
 	// Recovery state (Config.Recover): the ProtoSync sending helper, the
 	// single outstanding fetch timer, the rotating fetch target, and a
@@ -220,10 +242,14 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		kNext:     1,
 		kPropose:  1,
 		window:    window,
+		maxBatch:  cfg.MaxBatch,
 		inFlight:  make(map[uint64]msg.IDSet),
 		claimed:   make(map[msg.ID]bool),
 		needed:    make(map[uint64]bool),
 		pending:   make(map[uint64]consensus.Value),
+	}
+	if cfg.Adapt != nil {
+		e.initAdapt()
 	}
 
 	// Diffusion layer.
@@ -256,11 +282,13 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 			ccfg.OnDeepLag = e.onDeepLag
 		}
 	}
-	if window > 1 {
+	if e.pipelined() {
 		// Serial operation needs no participation callback: an instance's
 		// identifiers always diffuse to everyone and pull them in. Only a
 		// pipelined engine can face an instance it has nothing to say
-		// about (see maybePropose).
+		// about (see maybePropose) — and an adaptive engine counts as
+		// pipelined even at W=1, since the controller may widen the window
+		// at any tick (and peers' own controllers may already have).
 		ccfg.OnNeed = e.onNeed
 	}
 	switch cfg.Variant {
@@ -280,6 +308,11 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e.cons = cons
+	if e.ctrl != nil {
+		// Start the control loop only now that every layer is wired and
+		// construction can no longer fail.
+		e.armAdapt()
+	}
 	return e, nil
 }
 
@@ -358,7 +391,7 @@ func (e *Engine) maybePropose() {
 			continue
 		}
 		batch := e.selectBatch()
-		if len(batch) == 0 && !(e.window > 1 && e.needed[k]) {
+		if len(batch) == 0 && !(e.pipelined() && e.needed[k]) {
 			return
 		}
 		delete(e.needed, k)
@@ -370,8 +403,15 @@ func (e *Engine) maybePropose() {
 		for _, id := range batch {
 			e.claimed[id] = true
 		}
+		if e.proposedAt != nil {
+			e.proposedAt[k] = e.ctx.Now()
+		}
 		e.kPropose = k + 1
-		if e.window > 1 && (k > e.kNext || len(batch) == 0) {
+		if e.pipelined() && (k > e.kNext || len(batch) == 0) {
+			// An adaptive engine beacons even at W=1: its window may have
+			// shrunk back to serial while kPropose is still ahead of kNext,
+			// and the serial liveness argument does not cover those
+			// instances.
 			e.cons.Open(k)
 		}
 		switch e.cfg.Variant {
@@ -399,7 +439,7 @@ func (e *Engine) selectBatch() []msg.ID {
 			continue
 		}
 		batch = append(batch, id)
-		if e.cfg.MaxBatch > 0 && len(batch) == e.cfg.MaxBatch {
+		if e.maxBatch > 0 && len(batch) == e.maxBatch {
 			break
 		}
 	}
@@ -422,6 +462,12 @@ func (e *Engine) onNeed(k uint64) {
 func (e *Engine) onDecide(k uint64, v consensus.Value) {
 	if _, dup := e.pending[k]; dup || k < e.kNext {
 		return
+	}
+	if t0, ok := e.proposedAt[k]; ok {
+		// Propose→decide latency of our own proposal: the consensus-level
+		// congestion signal of the adaptive control plane.
+		e.decLat.Observe(float64(e.ctx.Now().Sub(t0)))
+		delete(e.proposedAt, k)
 	}
 	if e.cfg.OnDecision != nil {
 		e.cfg.OnDecision(k, v)
@@ -459,6 +505,7 @@ func (e *Engine) consumePending() {
 			}
 		}
 		delete(e.needed, e.kNext)
+		delete(e.proposedAt, e.kNext)
 		k := e.kNext
 		e.kNext++
 		e.applyDecision(k, next)
@@ -551,6 +598,13 @@ type Stats struct {
 	// operation (Pipeline ≤ 1) never exceeds 1.
 	InFlight    int
 	MaxInFlight int
+	// Window and MaxBatch are the currently applied pipeline width and
+	// per-instance batch cap — equal to the Config values for a static
+	// engine, moving targets under the adaptive control plane. Retargets
+	// counts how often Retarget changed either.
+	Window    int
+	MaxBatch  int
+	Retargets int
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -563,6 +617,9 @@ func (e *Engine) Stats() Stats {
 		Instances:   e.kNext - 1,
 		InFlight:    len(e.inFlight),
 		MaxInFlight: e.maxInFlight,
+		Window:      e.window,
+		MaxBatch:    e.maxBatch,
+		Retargets:   e.retargets,
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"abcast/internal/stack"
+	"abcast/internal/stats"
 )
 
 // Config parameterizes a Link. The zero value selects the defaults.
@@ -172,6 +173,12 @@ type Stats struct {
 	// Probes and Acks count control messages sent.
 	Probes int64
 	Acks   int64
+	// RTTs is the smoothed per-peer round-trip estimate of each outgoing
+	// stream that has completed at least one ProbeMsg→AckMsg exchange
+	// (absent peers are unmeasured). It is the signal the adaptive control
+	// plane feeds into SetInterval, so the anti-entropy cadence tracks the
+	// topology instead of a constant; see Link.MaxRTT.
+	RTTs map[stack.ProcessID]time.Duration
 }
 
 // outStream is the sender side of one directed stream: a ring of envelopes
@@ -185,6 +192,16 @@ type outStream struct {
 	// Config.MaxProbes the stream stops probing until fresh traffic or a
 	// digest resets it (see Config.MaxProbes).
 	unanswered int
+	// probeAt is when the oldest unanswered probe of the current exchange
+	// was sent (zero = no probe outstanding); the next digest from the peer
+	// closes the round trip and folds it into rtt. Measuring from the
+	// *oldest* probe makes a lost probe inflate the sample rather than
+	// vanish, which errs the anti-entropy cadence toward patience on lossy
+	// paths. A digest the receiver emitted on its own can close the exchange
+	// early and under-measure; the smoothing absorbs it.
+	probeAt time.Time
+	// rtt is the smoothed probe→digest round-trip estimate for this stream.
+	rtt stats.Ewma
 }
 
 type outEntry struct {
@@ -213,8 +230,13 @@ type Link struct {
 	in  map[stack.ProcessID]*inStream
 
 	timerArmed bool
+	cancelTick func()
 	stats      Stats
 }
+
+// rttAlpha is the smoothing gain of the per-stream round-trip estimate (the
+// classic TCP SRTT weight).
+const rttAlpha = 0.125
 
 // New wires a Link into the node: outgoing envelopes (except heartbeats and
 // the link's own control traffic) are sequenced and buffered; incoming
@@ -233,8 +255,53 @@ func New(node *stack.Node, cfg Config) *Link {
 	return l
 }
 
-// Stats returns a snapshot of the link counters.
-func (l *Link) Stats() Stats { return l.stats }
+// Stats returns a snapshot of the link counters, including the smoothed
+// per-peer RTT of every outgoing stream measured so far.
+func (l *Link) Stats() Stats {
+	st := l.stats
+	for q, os := range l.out {
+		if os.rtt.Seen() {
+			if st.RTTs == nil {
+				st.RTTs = make(map[stack.ProcessID]time.Duration, len(l.out))
+			}
+			st.RTTs[q] = time.Duration(os.rtt.Value())
+		}
+	}
+	return st
+}
+
+// MaxRTT returns the largest smoothed per-peer round-trip estimate, or 0
+// when no stream has completed a probe→digest exchange yet. The adaptive
+// control plane paces the anti-entropy cadence off it: the slowest link
+// dictates how long a digest can usefully be waited for.
+func (l *Link) MaxRTT() time.Duration {
+	var max float64
+	for _, os := range l.out {
+		if os.rtt.Seen() && os.rtt.Value() > max {
+			max = os.rtt.Value()
+		}
+	}
+	return time.Duration(max)
+}
+
+// Interval returns the current anti-entropy cadence.
+func (l *Link) Interval() time.Duration { return l.cfg.Interval }
+
+// SetInterval retargets the anti-entropy cadence (and with it the
+// retransmission guard window) at runtime. A pending tick is re-armed at the
+// new cadence, so the change takes effect on the next tick rather than after
+// one more old-cadence period. Non-positive durations are ignored.
+func (l *Link) SetInterval(d time.Duration) {
+	if d <= 0 || d == l.cfg.Interval {
+		return
+	}
+	l.cfg.Interval = d
+	if l.timerArmed && l.cancelTick != nil {
+		l.cancelTick()
+		l.timerArmed = false
+		l.arm()
+	}
+}
 
 // Send implements stack.Sender: sequence, buffer, transmit.
 func (l *Link) Send(to stack.ProcessID, env stack.Envelope) {
@@ -284,7 +351,7 @@ func (os *outStream) trim() {
 func (l *Link) outTo(q stack.ProcessID) *outStream {
 	os, ok := l.out[q]
 	if !ok {
-		os = &outStream{base: 1}
+		os = &outStream{base: 1, rtt: stats.NewEwma(rttAlpha)}
 		l.out[q] = os
 	}
 	return os
@@ -378,6 +445,11 @@ func (l *Link) onAck(from stack.ProcessID, m AckMsg) {
 		return
 	}
 	os.unanswered = 0 // the peer is alive and digesting
+	if !os.probeAt.IsZero() {
+		// A digest closes the outstanding probe exchange: one RTT sample.
+		os.rtt.Observe(float64(l.ctx.Now().Sub(os.probeAt)))
+		os.probeAt = time.Time{}
+	}
 	// Settle everything the digest covers.
 	for i := range os.entries {
 		seq := os.base + uint64(i)
@@ -451,7 +523,7 @@ func (l *Link) arm() {
 		return
 	}
 	l.timerArmed = true
-	l.ctx.SetTimer(l.cfg.Interval, l.tick)
+	l.cancelTick = l.ctx.SetTimer(l.cfg.Interval, l.tick)
 }
 
 // tick runs one anti-entropy round: digest every incoming stream with
@@ -473,6 +545,9 @@ func (l *Link) tick() {
 	for q := stack.ProcessID(1); q <= n; q++ {
 		if os, ok := l.out[q]; ok && os.live > 0 && os.unanswered < l.cfg.MaxProbes {
 			os.unanswered++
+			if os.probeAt.IsZero() {
+				os.probeAt = l.ctx.Now() // opens a probe→digest RTT exchange
+			}
 			l.stats.Probes++
 			l.ctx.Send(q, stack.Envelope{Proto: stack.ProtoLink, Msg: ProbeMsg{Max: os.next, Low: os.base}})
 			pending = true

@@ -6,6 +6,7 @@ package relink
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -173,7 +174,7 @@ func TestQuiescence(t *testing.T) {
 	before := h.links[1].Stats()
 	h.w.RunFor(10 * time.Second)
 	after := h.links[1].Stats()
-	if before != after {
+	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("link not quiescent: %+v -> %+v", before, after)
 	}
 	h.wants(t, 2, []int{1, 2, 3, 4, 5})
@@ -196,7 +197,7 @@ func TestCrashedPeerStopsProbing(t *testing.T) {
 	}
 	before := st
 	h.w.RunFor(10 * time.Second)
-	if after := h.links[1].Stats(); after != before {
+	if after := h.links[1].Stats(); !reflect.DeepEqual(after, before) {
 		t.Fatalf("link not quiescent with a dead peer: %+v -> %+v", before, after)
 	}
 }
@@ -240,5 +241,72 @@ func TestStreamsAreIndependent(t *testing.T) {
 	fmtOK := fmt.Sprintf("%d/%d", len(h.got[2]), len(h.got[3]))
 	if fmtOK != "20/20" {
 		t.Fatalf("dispatch counts %s, want 20/20", fmtOK)
+	}
+}
+
+// TestSetIntervalTakesEffectNextTick: retargeting the anti-entropy cadence
+// re-arms a pending tick, so the very next tick (and all control traffic
+// depending on it) runs at the new cadence instead of finishing one more
+// old-cadence period first — the actuator contract the adaptive control
+// plane relies on.
+func TestSetIntervalTakesEffectNextTick(t *testing.T) {
+	// A black-holed send leaves unacknowledged data, so the sender probes
+	// on every tick; probe counts measure the cadence.
+	h := newHarness(t, 2, Config{Interval: time.Second}, 5)
+	h.w.After(1, 0, func() {
+		h.w.Partition(simnet.PartitionDrop, []stack.ProcessID{2})
+	})
+	h.send(1, 2, time.Millisecond, 1)
+	// Let the slow cadence tick twice, then retarget to 10 ms.
+	h.w.RunFor(2500 * time.Millisecond)
+	slow := h.links[1].Stats().Probes
+	if slow != 2 {
+		t.Fatalf("expected 2 probes at the 1 s cadence, got %d", slow)
+	}
+	h.w.After(1, 0, func() { h.links[1].SetInterval(10 * time.Millisecond) })
+	// At the old cadence the pending tick would fire at t=3 s; at the new
+	// one, ~10 ms after the retarget. 200 ms is ~20 new-cadence ticks and
+	// zero old-cadence ones.
+	h.w.RunFor(200 * time.Millisecond)
+	fast := h.links[1].Stats().Probes
+	if fast < slow+10 {
+		t.Fatalf("cadence change not effective: %d probes before, %d after", slow, fast)
+	}
+	if got := h.links[1].Interval(); got != 10*time.Millisecond {
+		t.Fatalf("Interval() = %v after SetInterval", got)
+	}
+}
+
+// TestRTTEstimate: a probe answered by a digest yields a smoothed per-peer
+// round-trip estimate, exported through Stats().RTTs and MaxRTT, in the
+// ballpark of the link's actual round trip.
+func TestRTTEstimate(t *testing.T) {
+	h := newHarness(t, 3, Config{Interval: 20 * time.Millisecond}, 6)
+	// A steady stream keeps unacknowledged data present at most ticks, so
+	// the sender probes and the receiver's digests close the exchanges —
+	// the healthy-run case, where the estimate should sit near the real
+	// round trip rather than a loss-inflated one.
+	for n := 1; n <= 200; n++ {
+		h.send(1, 2, time.Duration(n)*5*time.Millisecond, n)
+	}
+	h.w.RunFor(2 * time.Second)
+	st := h.links[1].Stats()
+	rtt, ok := st.RTTs[2]
+	if !ok {
+		t.Fatalf("no RTT estimate for the probed peer: %+v", st)
+	}
+	// Setup 1 links are ~100 µs one way plus CPU costs; an estimate in
+	// (0, 5 ms] says real probe→digest round trips were measured (an
+	// unsolicited digest can close an exchange early, but never below the
+	// wire time).
+	if rtt <= 0 || rtt > 5*time.Millisecond {
+		t.Fatalf("implausible RTT estimate %v", rtt)
+	}
+	if got := h.links[1].MaxRTT(); got < rtt {
+		t.Fatalf("MaxRTT() = %v below the measured per-peer estimate %v", got, rtt)
+	}
+	// The unprobed reverse direction has no estimate.
+	if _, ok := h.links[3].Stats().RTTs[1]; ok {
+		t.Fatalf("RTT estimate on a stream that never probed")
 	}
 }

@@ -96,6 +96,39 @@ func (s *Sample) Max() float64 { return s.Quantile(1) }
 // Median returns the 0.5-quantile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 
+// Ewma is a deterministic exponentially weighted moving average, the
+// smoother behind the adaptive control plane's signals: relink uses one per
+// outgoing stream to smooth probe→digest round-trip samples, and the atomic
+// broadcast engine uses one for its propose→decide latency. The zero value
+// (with a positive alpha set via NewEwma) has no observations; the first
+// observation initializes the average directly, TCP-SRTT style.
+type Ewma struct {
+	alpha float64
+	v     float64
+	seen  bool
+}
+
+// NewEwma returns an average weighting each new observation by alpha
+// (0 < alpha <= 1); 1/8 is the classic TCP smoothing gain.
+func NewEwma(alpha float64) Ewma {
+	return Ewma{alpha: alpha}
+}
+
+// Observe folds one observation into the average.
+func (e *Ewma) Observe(x float64) {
+	if !e.seen {
+		e.v, e.seen = x, true
+		return
+	}
+	e.v += e.alpha * (x - e.v)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *Ewma) Value() float64 { return e.v }
+
+// Seen reports whether any observation has been folded in.
+func (e *Ewma) Seen() bool { return e.seen }
+
 // Summary is an immutable digest of a sample.
 type Summary struct {
 	N      int

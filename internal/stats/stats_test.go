@@ -102,3 +102,24 @@ func TestQuantileMonotoneQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEwma: first observation initializes, later ones move the average by
+// alpha, and the zero state reports unseen.
+func TestEwma(t *testing.T) {
+	e := NewEwma(0.5)
+	if e.Seen() || e.Value() != 0 {
+		t.Fatalf("fresh ewma not empty: %v", e)
+	}
+	e.Observe(10)
+	if !e.Seen() || e.Value() != 10 {
+		t.Fatalf("first observation should initialize: %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("Value = %v after 10,20 at alpha 0.5, want 15", e.Value())
+	}
+	e.Observe(15)
+	if e.Value() != 15 {
+		t.Fatalf("steady input moved the average: %v", e.Value())
+	}
+}
