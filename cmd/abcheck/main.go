@@ -1,0 +1,319 @@
+// Command abcheck runs the repository's determinism analyzers (maporder,
+// walltime, eventloop — see internal/analysis) over the module.
+//
+// Standalone use, from anywhere inside the module:
+//
+//	go run ./cmd/abcheck ./...          # analyze every package
+//	go run ./cmd/abcheck ./internal/fd  # analyze one package
+//	go run ./cmd/abcheck -json ./...    # machine-readable findings
+//
+// Findings print one per line as file:line:col: analyzer: message and the
+// exit status is 1 when there are any, so the command gates CI directly.
+// With -json the findings are emitted as a JSON array of
+// {analyzer, file, line, col, message} objects (empty array when clean)
+// for the bench-trajectory tooling.
+//
+// The binary also speaks the `go vet` driver protocol (-V=full and
+// single-argument *.cfg invocations), so it can be used as
+//
+//	go build -o /tmp/abcheck ./cmd/abcheck
+//	go vet -vettool=/tmp/abcheck ./...
+//
+// In that mode type information comes from the compiler's export data
+// (handed over in the .cfg file) instead of abcheck's own source loader.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"abcast/internal/analysis"
+)
+
+// version feeds the go command's build cache via -V=full; bump it when
+// analyzer semantics change so stale cached vet results are invalidated.
+const version = "1.0.0"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("abcheck: ")
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		showV    = flag.String("V", "", "print version and exit (go vet protocol)")
+		flagsReq = flag.Bool("flags", false, "describe flags in JSON (go vet protocol)")
+	)
+	flag.Parse()
+	if *showV != "" {
+		// The go command requires "<name> version <id>" on stdout.
+		fmt.Printf("abcheck version %s\n", version)
+		return
+	}
+	if *flagsReq {
+		fmt.Println("[]")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+	os.Exit(runStandalone(args, *jsonOut))
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// runStandalone loads the requested packages with the source loader and
+// reports findings; it returns the process exit code.
+func runStandalone(patterns []string, jsonOut bool) int {
+	modPath, modDir, err := analysis.FindModule(".")
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	loader := analysis.NewLoader(modPath, modDir)
+	paths, err := expandPatterns(loader, modPath, modDir, patterns)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	findings := []finding{}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		diags, err := analysis.RunPackage(pkg, analysis.All)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			findings = append(findings, finding{
+				Analyzer: d.Analyzer,
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			log.Print(err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves command-line package patterns ("./...", a
+// relative directory, or an import path; default everything) to import
+// paths.
+func expandPatterns(loader *analysis.Loader, modPath, modDir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				for _, p := range all {
+					add(p)
+				}
+				continue
+			}
+		}
+		path := pat
+		if strings.HasPrefix(pat, ".") || filepath.IsAbs(pat) {
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(modDir, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("%s: outside module %s", pat, modPath)
+			}
+			if rel == "." {
+				path = modPath
+			} else {
+				path = modPath + "/" + filepath.ToSlash(rel)
+			}
+		}
+		matched := false
+		for _, p := range all {
+			if p == path || (recursive && strings.HasPrefix(p, path+"/")) {
+				add(p)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q", pat)
+		}
+	}
+	return out, nil
+}
+
+// vetConfig mirrors the fields of the JSON config `go vet` hands to a
+// -vettool (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single compilation unit described by a go vet
+// config file, using the compiler's export data for imports.
+func runVet(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("%s: %v", cfgFile, err)
+		return 2
+	}
+	// abcheck exports no analysis facts; write an empty vetx so the go
+	// command's cache bookkeeping stays happy, and skip facts-only runs.
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Print(err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Print(err)
+		return 2
+	}
+	// go vet hands test variants of a package over with their _test.go
+	// files in the unit. abcheck's contract covers non-test files only
+	// (tests legitimately use the host clock and poke protocol state
+	// during setup), so those files are typechecked but not analyzed —
+	// matching what the standalone loader does.
+	analyzed := files[:0:0]
+	for _, f := range files {
+		if name := fset.Position(f.Pos()).Filename; !strings.HasSuffix(name, "_test.go") {
+			analyzed = append(analyzed, f)
+		}
+	}
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: analyzed,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.All)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

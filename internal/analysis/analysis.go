@@ -1,0 +1,157 @@
+// Package analysis implements abcheck, a small static-analysis suite that
+// proves this repository's determinism and event-loop discipline at compile
+// time.
+//
+// The simulator's headline property — a seeded run is bit-for-bit
+// reproducible, which is what lets BENCH_<rev>.json trajectories be pinned
+// across revisions — is easy to break silently: Go's map iteration order is
+// randomized per run, wall-clock reads leak host time into virtual
+// schedules, and state mutated off the event loop races the deterministic
+// dispatch order. Each failure class has already occurred or nearly
+// occurred in this repository's history (the PR-4 failure-detector bug
+// notified suspicion subscribers in map order). The three analyzers here
+// turn those postmortems into compile-time rules:
+//
+//   - maporder: in determinism-critical packages, a `for … range` over a
+//     map must not perform an order-sensitive effect (send a message,
+//     invoke a callback, schedule a timer, or build a slice that is never
+//     sorted afterwards). The collect-keys-then-sort idiom is recognized
+//     as clean.
+//   - walltime: simulation-path packages must not read the wall clock
+//     (time.Now, time.Since, time.After, …) or the global math/rand
+//     source; only the virtual clock (stack.Context.Now) and the per-proc
+//     seeded *rand.Rand are legal.
+//   - eventloop: types annotated //abcheck:eventloop have their field
+//     writes checked — mutation is only legal in functions reachable from
+//     the //abcheck:entry dispatch set, and never inside a `go` statement.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) so the analyzers read idiomatically and
+// could be ported to the upstream framework mechanically. It is built on
+// the standard library alone (go/ast, go/types, go/build) because this
+// repository carries no module dependencies; see load.go for the
+// source-level package loader that replaces go/packages.
+//
+// Escape hatch: a finding that is a deliberate, justified exception is
+// suppressed with
+//
+//	//abcheck:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason string is
+// mandatory; a bare ignore is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //abcheck:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// All is the abcheck analyzer suite, in reporting order.
+var All = []*Analyzer{MapOrder, WallTime, EventLoop}
+
+// byName maps analyzer names to analyzers, for ignore-directive
+// validation.
+func byName() map[string]*Analyzer {
+	m := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// A Pass provides one analyzer with the typed syntax of one package, and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the import path the package was loaded under. Analyzers
+	// use it for package classification (sim-path vs wall-clock); it is
+	// kept separate from Pkg.Path() so testdata packages can exercise
+	// classification rules.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, bound to a source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form used
+// by go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunPackage applies the given analyzers to a loaded package, filters the
+// results through //abcheck:ignore directives, and returns the surviving
+// diagnostics sorted by position. Malformed directives (missing reason,
+// unknown analyzer) are reported as diagnostics of the pseudo-analyzer
+// "abcheck".
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ig := collectIgnores(pkg.Fset, pkg.Files, byName())
+	diags := append([]Diagnostic(nil), ig.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+		}
+		pass.report = func(d Diagnostic) {
+			if ig.suppresses(a.Name, d.Pos) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

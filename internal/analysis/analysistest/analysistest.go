@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over a golden package under
+// testdata/src and checks its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment sits on the line the diagnostic is expected on and
+// carries one quoted regexp per expected diagnostic:
+//
+//	fn(v) // want `calls function value fn`
+//	x = 1 // want "first" "second"
+//
+// Every diagnostic must be matched by exactly one expectation and vice
+// versa; mismatches in either direction fail the test. Diagnostics of the
+// pseudo-analyzer "abcheck" (malformed //abcheck:ignore directives) are
+// checked the same way, so the escape-hatch grammar is testable.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"abcast/internal/analysis"
+)
+
+// Run loads testdata/src/<path> (resolved against the calling test's
+// working directory) and applies the analyzer.
+func Run(t *testing.T, a *analysis.Analyzer, path string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader("", "")
+	loader.ExtraRoots = []string{filepath.Join(wd, "testdata", "src")}
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, path, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArg pulls one double- or backtick-quoted string off the front of s.
+var wantArg = regexp.MustCompile("^\\s*(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// collectWants indexes the // want expectations of every file by
+// "filename:line".
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for {
+					m := wantArg.FindStringSubmatch(text)
+					if m == nil {
+						break
+					}
+					text = text[len(m[0]):]
+					q := m[1]
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+				if len(wants[key]) == 0 {
+					t.Fatalf("%s: want comment with no quoted patterns: %s", key, c.Text)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consumeWant marks the first unmatched expectation whose regexp matches
+// the message.
+func consumeWant(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

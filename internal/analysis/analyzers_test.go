@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"abcast/internal/analysis"
+	"abcast/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder")
+}
+
+// TestMapOrderSkipsNonCritical: the live runtime's import path is not in
+// the determinism-critical set, so its map-order fanout is clean.
+func TestMapOrderSkipsNonCritical(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "abcast/internal/live")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysis.WallTime, "walltime")
+}
+
+// TestWallTimeAllowlist: the live TCP transport faces the host clock and
+// is allowlisted; its time.Now/time.Sleep draw no findings.
+func TestWallTimeAllowlist(t *testing.T) {
+	analysistest.Run(t, analysis.WallTime, "abcast/internal/tcpnet")
+}
+
+func TestEventLoop(t *testing.T) {
+	analysistest.Run(t, analysis.EventLoop, "eventloop")
+}
+
+// TestModuleClean runs the full analyzer suite over this repository
+// itself: the tree must stay at zero findings (the same gate CI's abcheck
+// job enforces, kept here so `go test ./...` alone catches regressions).
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	modPath, modDir, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(modPath, modDir)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(pkg, analysis.All)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

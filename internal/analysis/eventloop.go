@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EventLoop checks that the state of event-loop-owned types is only
+// mutated from event-loop dispatch.
+//
+// The repository's concurrency discipline is "all state transitions
+// happen inside one event-loop callback": every handler, timer callback,
+// and cross-package actuator runs on its process's event loop (the
+// simulator's single thread, or the live runtime's per-process mailbox
+// goroutine), so protocol state needs no locks — and, in simulation, is
+// mutated in a deterministic order. This analyzer is the static shadow of
+// that rule:
+//
+//   - a type annotated //abcheck:eventloop (core.Engine,
+//     consensus.Service, relink.Link) has its field writes checked;
+//   - writes are legal only inside functions reachable from the
+//     //abcheck:entry dispatch set — the constructors plus the
+//     loop-invoked surface (message handlers, timer callbacks, and the
+//     actuator methods other packages call on-loop);
+//   - reachability follows any reference to a package function or method
+//     (a direct call, or registering a method as a handler/timer
+//     callback), except references inside a `go` statement — code spawned
+//     off the loop is never a legal mutation site, and writes inside a
+//     `go` statement body are flagged unconditionally.
+//
+// Limitation: calls that dispatch through an interface are not resolved,
+// so a mutation reached only that way needs its own //abcheck:entry.
+var EventLoop = &Analyzer{
+	Name: "eventloop",
+	Doc:  "restrict field writes of //abcheck:eventloop types to functions reachable from //abcheck:entry",
+	Run:  runEventLoop,
+}
+
+const (
+	eventloopDirective = "//abcheck:eventloop"
+	entryDirective     = "//abcheck:entry"
+)
+
+// hasDirective reports whether any line of the doc comment is the given
+// directive (optionally followed by explanatory text).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runEventLoop(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: annotated types and the package function universe.
+	annotated := make(map[*types.TypeName]bool)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var entries []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !hasDirective(ts.Doc, eventloopDirective) && !hasDirective(decl.Doc, eventloopDirective) {
+						continue
+					}
+					if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+						annotated[tn] = true
+					}
+				}
+			case *ast.FuncDecl:
+				fn, ok := info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = decl
+				if hasDirective(decl.Doc, entryDirective) {
+					entries = append(entries, fn)
+				}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	// Pass 2: reachability from the entry set. An edge is any reference
+	// to a package function outside a `go` statement: calling it, or
+	// registering it as a handler / timer callback, both put it in the
+	// event loop's dispatch set.
+	reachable := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			return
+		}
+		walkOutsideGo(decl.Body, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			if ref, ok := info.Uses[id].(*types.Func); ok {
+				if _, local := decls[ref]; local {
+					visit(ref)
+				}
+			}
+		})
+	}
+	for _, fn := range entries {
+		visit(fn)
+	}
+
+	// Pass 3: flag writes.
+	for fn, decl := range decls {
+		if decl.Body == nil {
+			continue
+		}
+		fnReachable := reachable[fn]
+		walkWrites(info, decl.Body, func(write ast.Node, lhs ast.Expr, inGo bool) {
+			tn, field := annotatedFieldWrite(info, annotated, lhs)
+			if tn == nil {
+				return
+			}
+			switch {
+			case inGo:
+				pass.Reportf(write.Pos(),
+					"write to %s.%s inside a go statement: %s state must only be mutated on its event loop",
+					tn.Name(), field, tn.Name())
+			case !fnReachable:
+				pass.Reportf(write.Pos(),
+					"write to %s.%s in %s, which is not reachable from any //abcheck:entry function: annotate the dispatch entry point or move the mutation onto the event loop",
+					tn.Name(), field, fn.Name())
+			}
+		})
+	}
+	return nil
+}
+
+// walkOutsideGo walks the subtree, skipping everything under a GoStmt.
+func walkOutsideGo(root ast.Node, f func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+// walkWrites visits every assignment and inc/dec statement in the
+// subtree, reporting for each LHS whether it sits inside a go statement.
+func walkWrites(info *types.Info, root ast.Node, f func(write ast.Node, lhs ast.Expr, inGo bool)) {
+	var walk func(n ast.Node, inGo bool)
+	walk = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					f(m, lhs, inGo)
+				}
+			case *ast.IncDecStmt:
+				f(m, m.X, inGo)
+			}
+			return true
+		})
+	}
+	walk(root, false)
+}
+
+// annotatedFieldWrite reports the annotated type and field name if the
+// assignment target is (or indexes/dereferences into) a field of an
+// annotated type, walking selector chains so nested targets like
+// `l.stats.Sequenced++` and `s.insts[k] = v` are attributed to the
+// outermost annotated owner.
+func annotatedFieldWrite(info *types.Info, annotated map[*types.TypeName]bool, lhs ast.Expr) (*types.TypeName, string) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			// *p = v: a write through a pointer; if it points at an
+			// annotated type, it rewrites the whole value.
+			if tn := annotatedNamed(info.TypeOf(e.X), annotated); tn != nil {
+				return tn, "(*" + tn.Name() + ")"
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if tn := annotatedNamed(sel.Recv(), annotated); tn != nil {
+					return tn, e.Sel.Name
+				}
+			}
+			lhs = e.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// annotatedNamed resolves t (through pointers) to an annotated named
+// type, if it is one.
+func annotatedNamed(t types.Type, annotated map[*types.TypeName]bool) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && annotated[n.Obj()] {
+		return n.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. Grammar:
+//
+//	//abcheck:ignore <analyzer> <reason...>
+//
+// The directive suppresses diagnostics of the named analyzer on the line
+// it appears on and on the line directly below it (so it works both as an
+// end-of-line comment and as a comment above the flagged statement). The
+// reason is mandatory and free-form; a directive without one, or naming an
+// unknown analyzer, is itself reported.
+const ignorePrefix = "abcheck:ignore"
+
+// directiveBody extracts the text after "abcheck:ignore" from a comment,
+// accepting both the line form (//abcheck:ignore …) and the block form
+// (/*abcheck:ignore …*/, useful when the line needs a second comment).
+func directiveBody(text string) (string, bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	return rest, true
+}
+
+// ignoreSet indexes the suppression directives of one package.
+type ignoreSet struct {
+	// byKey maps "filename:line:analyzer" to true for every (line,
+	// analyzer) pair a directive covers.
+	byKey     map[string]bool
+	malformed []Diagnostic
+}
+
+func ignoreKey(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+}
+
+// collectIgnores scans every comment of every file for directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]*Analyzer) *ignoreSet {
+	ig := &ignoreSet{byKey: make(map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := directiveBody(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := body
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Analyzer: "abcheck",
+						Pos:      pos,
+						Message:  "abcheck:ignore directive must name an analyzer and give a reason",
+					})
+					continue
+				}
+				name := fields[0]
+				if _, ok := known[name]; !ok {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Analyzer: "abcheck",
+						Pos:      pos,
+						Message:  "abcheck:ignore names unknown analyzer " + name,
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Analyzer: "abcheck",
+						Pos:      pos,
+						Message:  "abcheck:ignore " + name + " requires a reason string",
+					})
+					continue
+				}
+				ig.byKey[ignoreKey(pos.Filename, pos.Line, name)] = true
+				ig.byKey[ignoreKey(pos.Filename, pos.Line+1, name)] = true
+			}
+		}
+	}
+	return ig
+}
+
+// suppresses reports whether a diagnostic of the named analyzer at pos is
+// covered by a directive.
+func (ig *ignoreSet) suppresses(analyzer string, pos token.Position) bool {
+	return ig.byKey[ignoreKey(pos.Filename, pos.Line, analyzer)]
+}

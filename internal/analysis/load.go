@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory its sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages from source and typechecks them recursively,
+// resolving imports against the repository module and GOROOT. It fills the
+// role of go/packages (which this repository cannot depend on: the module
+// is dependency-free) the same way the standard library's internal
+// srcimporter does: go/build selects files, go/parser parses them, and
+// go/types checks them with imports satisfied by loading the imported
+// package's source in turn.
+//
+// A Loader memoizes every package it checks, so a whole-module run
+// typechecks each package (and each stdlib dependency) exactly once.
+type Loader struct {
+	// ModulePath and ModuleDir describe the enclosing module ("abcast"
+	// at the repository root). Imports of ModulePath or below resolve
+	// into ModuleDir.
+	ModulePath string
+	ModuleDir  string
+	// ExtraRoots are directories searched, in order and before module
+	// and GOROOT resolution, for an <root>/<importpath> package
+	// directory. The analysistest harness points one at testdata/src.
+	ExtraRoots []string
+
+	Fset *token.FileSet
+
+	ctxt build.Context
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg      *Package
+	err      error
+	checking bool
+}
+
+// NewLoader returns a loader rooted at the given module.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	ctxt := build.Default
+	// File selection must not depend on host cgo availability: analysis
+	// always sees the pure-Go file set, like CGO_ENABLED=0 builds.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		Fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		pkgs:       make(map[string]*loadEntry),
+	}
+}
+
+// FindModule locates the module containing dir by walking up to the
+// nearest go.mod and returns its path and root directory.
+func FindModule(dir string) (modulePath, moduleDir string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load loads and typechecks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.checking {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	dir, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(dir, path)
+}
+
+// LoadDir loads the package in dir under the given import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.checking {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	return l.loadDir(dir, path)
+}
+
+// resolve maps an import path to a source directory.
+func (l *Loader) resolve(path string) (string, error) {
+	for _, root := range l.ExtraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, nil
+		}
+	}
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	if dir := filepath.Join(goroot, "src", filepath.FromSlash(path)); hasGoFiles(dir) {
+		return dir, nil
+	}
+	// Standard-library dependencies vendored into GOROOT (e.g.
+	// golang.org/x/net/http2 under net/http).
+	if dir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)); hasGoFiles(dir) {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and typechecks one package directory.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	entry := &loadEntry{checking: true}
+	l.pkgs[path] = entry
+	pkg, err := l.check(dir, path)
+	entry.pkg, entry.err, entry.checking = pkg, err, false
+	return pkg, err
+}
+
+func (l *Loader) check(dir, path string) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Analysis covers non-test files: test files run under the race
+	// detector and the host clock legitimately (and the pinned bench
+	// trajectory is produced by non-test code only).
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Full syntax/type fact tables are only needed for packages the
+	// analyzers will visit: the module's own packages and any package
+	// loaded from an ExtraRoot (testdata). GOROOT dependencies only
+	// contribute their type information.
+	var info *types.Info
+	if l.analyzed(path) {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == "unsafe" {
+				return types.Unsafe, nil
+			}
+			p, err := l.Load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("%s: %w", path, firstErr)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// analyzed reports whether a package loaded under path gets full analysis
+// fact tables (as opposed to being a types-only dependency).
+func (l *Loader) analyzed(path string) bool {
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		return true
+	}
+	for _, root := range l.ExtraRoots {
+		if hasGoFiles(filepath.Join(root, filepath.FromSlash(path))) {
+			return true
+		}
+	}
+	return false
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModulePackages returns the import paths of every package directory in
+// the module, in sorted order, skipping testdata, hidden directories, and
+// directories without Go files.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.ModulePath)
+		} else {
+			paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

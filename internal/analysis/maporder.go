@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map whose body performs an
+// order-sensitive effect, in determinism-critical packages.
+//
+// Go randomizes map iteration order per run, so any effect whose outcome
+// depends on visit order breaks seeded reproducibility. Three effect
+// classes are recognized:
+//
+//   - calling a function value (subscriber callbacks, stored cancel
+//     functions): the callees run in random order;
+//   - calling a send/dispatch/timer method (Send, Broadcast, SetTimer,
+//     …): messages enter the network, or events enter the queue, in
+//     random order;
+//   - appending to a slice declared outside the loop with no subsequent
+//     sort.*/slices.* call on it in the same function: the slice escapes
+//     carrying random order.
+//
+// The third rule is what makes the repository's canonical fix — collect
+// the keys, sort them, then iterate — automatically clean: the append
+// loop is followed by a sort, and the effectful loop ranges over a slice.
+// Pure reductions (min/max/count), map-to-map fills, and delete-only
+// loops have no order-sensitive effect and are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive effects inside map iteration in determinism-critical packages",
+	Run:  runMapOrder,
+}
+
+// orderSensitiveCalls are method/function names whose invocation order is
+// observable: they emit messages or schedule events. Lowercase variants
+// cover unexported senders (consensus.Service.send and friends).
+var orderSensitiveCalls = map[string]bool{
+	"Send": true, "send": true,
+	"Broadcast": true, "broadcast": true,
+	"BroadcastOthers": true, "broadcastOthers": true,
+	"Dispatch": true, "dispatch": true,
+	"Rebroadcast": true, "rebroadcast": true,
+	"SetTimer": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !mapOrderChecked(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncMapOrder(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncMapOrder(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rs.X); t == nil || !isMap(t) {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody scans one map-range body for order-sensitive effects.
+func checkMapRangeBody(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, fn, rs, n)
+		case *ast.AssignStmt:
+			checkMapRangeAppend(pass, fn, rs, n, info)
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall flags dynamic function-value calls and calls of
+// order-sensitive named methods.
+func checkMapRangeCall(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+	// A conversion is not a call.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	callee := calleeObject(info, fun)
+	switch callee := callee.(type) {
+	case *types.Builtin, nil:
+		// append/delete/len/… and calls we cannot resolve (a call of a
+		// call's result) have no named callee; the dynamic-value check
+		// below still applies when the operand is function-typed.
+		if callee != nil {
+			return
+		}
+	case *types.Func:
+		if orderSensitiveCalls[callee.Name()] {
+			pass.Reportf(call.Pos(),
+				"calls %s inside iteration over a map: messages/events would be emitted in randomized map order; iterate sorted keys instead",
+				callee.Name())
+		}
+		return
+	case *types.Var:
+		// Function-typed variable, parameter, or struct field: the
+		// callee itself was chosen by map order.
+		pass.Reportf(call.Pos(),
+			"calls function value %s inside iteration over a map: callbacks would run in randomized map order; iterate sorted keys instead (see internal/fd notify)",
+			callee.Name())
+		return
+	}
+	// No named object: an index expression like m[k]() or a call of a
+	// returned closure. If the operand is function-typed, it is a
+	// dynamic call in map order.
+	if t := info.TypeOf(fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			pass.Reportf(call.Pos(),
+				"calls a function value inside iteration over a map: callbacks would run in randomized map order; iterate sorted keys instead")
+		}
+	}
+}
+
+// calleeObject resolves the object a call expression's operand denotes,
+// if it is a plain identifier or selector.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// checkMapRangeAppend flags `s = append(s, …)` where s is declared
+// outside the loop and no later sort.*/slices.* call in the same function
+// mentions s.
+func checkMapRangeAppend(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt, info *types.Info) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		obj := assignTarget(info, as.Lhs[i])
+		if obj == nil {
+			continue
+		}
+		// A slice created inside the loop body does not carry iteration
+		// order out of the loop.
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			continue
+		}
+		if sortedAfter(info, fn, rs.End(), obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"appends to %s inside iteration over a map with no later sort in this function: the slice escapes in randomized map order; sort it (sort.* / slices.*) or range over sorted keys",
+			obj.Name())
+	}
+}
+
+// assignTarget resolves the variable an assignment LHS denotes (plain
+// identifier or field selector).
+func assignTarget(info *types.Info, lhs ast.Expr) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[lhs]; obj != nil {
+			return obj
+		}
+		return info.Defs[lhs]
+	case *ast.SelectorExpr:
+		return info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether, somewhere after pos in fn, a sort.* or
+// slices.* call mentions obj.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

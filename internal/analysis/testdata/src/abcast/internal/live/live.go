@@ -1,0 +1,17 @@
+// Package live mirrors the import path of the real goroutine runtime,
+// which is not in maporder's determinism-critical set: its map walks feed
+// per-process mailboxes whose arrival order is nondeterministic anyway.
+// No diagnostics are expected.
+package live
+
+type mailbox struct {
+	deliver map[int]func([]byte)
+}
+
+// fanout may iterate in map order: the live runtime makes no ordering
+// promise at this layer.
+func (m *mailbox) fanout(payload []byte) {
+	for _, fn := range m.deliver {
+		fn(payload)
+	}
+}

@@ -1,0 +1,16 @@
+// Package tcpnet mirrors the import path of the real live-transport
+// package, which is allowlisted for walltime: it faces the host network
+// and legitimately reads the wall clock. No diagnostics are expected.
+package tcpnet
+
+import "time"
+
+// Deadline computes an absolute I/O deadline from the host clock.
+func Deadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+// Backoff sleeps between reconnect attempts.
+func Backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+}

@@ -1,0 +1,70 @@
+// Package eventloop is the analysistest golden package for the eventloop
+// analyzer.
+package eventloop
+
+// loop is an event-driven state machine whose fields are owned by one
+// event loop.
+//
+//abcheck:eventloop test type
+type loop struct {
+	n     int
+	stats struct{ handled int }
+	timer func(func())
+}
+
+// newLoop registers handle as a timer callback; the reference makes the
+// whole handle/bump chain reachable.
+//
+//abcheck:entry constructor
+func newLoop(timer func(func())) *loop {
+	l := &loop{timer: timer}
+	l.arm()
+	return l
+}
+
+func (l *loop) arm() { l.timer(l.handle) }
+
+// handle runs on the loop: reachable via the registration in newLoop.
+func (l *loop) handle() {
+	l.n++
+	l.stats.handled++
+	l.bump(2)
+}
+
+// bump is a helper called from reachable code.
+func (l *loop) bump(d int) { l.n += d }
+
+// Inject is the externally invoked actuator, documented to run on-loop.
+//
+//abcheck:entry actuator; callers enqueue it onto the owning loop
+func (l *loop) Inject(v int) { l.n = v }
+
+// Mutate writes loop state but is reachable from no entry.
+func (l *loop) Mutate(v int) {
+	l.n = v // want `write to loop.n in Mutate, which is not reachable from any //abcheck:entry function`
+}
+
+// spawn hands loop state to another goroutine: never legal, annotated or
+// not.
+//
+//abcheck:entry even an entry may not mutate from a spawned goroutine
+func (l *loop) spawn() {
+	go func() {
+		l.n = 0 // want `write to loop.n inside a go statement`
+	}()
+}
+
+// Reset is a justified exception.
+func (l *loop) Reset() {
+	l.n = 0 //abcheck:ignore eventloop test-only helper, runs before the loop starts
+}
+
+// free functions are checked too.
+func zero(l *loop) {
+	l.n = 0 // want `write to loop.n in zero, which is not reachable`
+}
+
+// other is an unannotated type: its writes are nobody's business.
+type other struct{ n int }
+
+func (o *other) set(v int) { o.n = v }

@@ -1,0 +1,133 @@
+// Package maporder is the analysistest golden package for the maporder
+// analyzer. Its import path is outside the module, so it is treated as
+// determinism-critical.
+package maporder
+
+import "sort"
+
+type sender struct{}
+
+func (sender) Send(to int, m string)       {}
+func (sender) record(to int)               {}
+func (s sender) Broadcast(m string)        {}
+func (s sender) dispatchAll(m map[int]int) {}
+
+type hub struct {
+	subs map[int]func(int)
+	seen map[int]bool
+	out  sender
+}
+
+// notifyBad invokes stored callbacks in map order.
+func (h *hub) notifyBad(v int) {
+	for _, fn := range h.subs {
+		fn(v) // want `calls function value fn inside iteration over a map`
+	}
+}
+
+// indexBad calls through the map without even naming the value.
+func (h *hub) indexBad(v int) {
+	for k := range h.subs {
+		h.subs[k](v) // want `calls a function value inside iteration over a map`
+	}
+}
+
+// floodBad emits messages in map order.
+func (h *hub) floodBad(m string) {
+	for to := range h.seen {
+		h.out.Send(to, m) // want `calls Send inside iteration over a map`
+	}
+}
+
+// keysBad lets a slice escape carrying map order.
+func (h *hub) keysBad() []int {
+	var ks []int
+	for k := range h.seen {
+		ks = append(ks, k) // want `appends to ks inside iteration over a map with no later sort`
+	}
+	return ks
+}
+
+// notifyGood is the canonical sorted-keys idiom: the append loop is
+// followed by a sort in the same function, and the effectful loop ranges
+// over the sorted slice.
+func (h *hub) notifyGood(v int) {
+	ks := make([]int, 0, len(h.subs))
+	for k := range h.subs {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		h.subs[k](v)
+	}
+}
+
+// sortSliceGood uses sort.Slice, whose closure mentions the slice.
+func (h *hub) sortSliceGood() []int {
+	var ks []int
+	for k := range h.seen {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// maxKey is a pure reduction: no order-sensitive effect.
+func (h *hub) maxKey() int {
+	best := 0
+	for k := range h.seen {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// clear is delete-only.
+func (h *hub) clear() {
+	for k := range h.seen {
+		delete(h.seen, k)
+	}
+}
+
+// fill builds another map; map inserts are order-insensitive.
+func (h *hub) fill(dst map[int]bool) {
+	for k := range h.seen {
+		dst[k] = true
+	}
+}
+
+// localSlice appends to a slice born inside the loop body: it cannot
+// carry iteration order out of the loop.
+func (h *hub) localSlice() {
+	for k := range h.seen {
+		pair := []int{}
+		pair = append(pair, k, k+1)
+		h.seen[pair[0]] = true
+	}
+}
+
+// anyOne is a justified exception: it invokes one arbitrary callback and
+// leaves the loop, so iteration order is not observable.
+func (h *hub) anyOne(v int) {
+	for _, fn := range h.subs {
+		//abcheck:ignore maporder only one arbitrary subscriber runs; the loop exits after the first
+		fn(v)
+		return
+	}
+}
+
+// badIgnore has an ignore directive with no reason: the directive is
+// reported and does not suppress the finding.
+func (h *hub) badIgnore(v int) {
+	for _, fn := range h.subs {
+		fn(v) /*abcheck:ignore maporder*/ // want `abcheck:ignore maporder requires a reason string` `calls function value fn inside iteration over a map`
+	}
+}
+
+// wrongAnalyzer names an analyzer that does not exist.
+func (h *hub) wrongAnalyzer(v int) {
+	for _, fn := range h.subs {
+		fn(v) /*abcheck:ignore mapsort because typo*/ // want `abcheck:ignore names unknown analyzer mapsort` `calls function value fn inside iteration over a map`
+	}
+}

@@ -1,0 +1,69 @@
+// Package walltime is the analysistest golden package for the walltime
+// analyzer. Its import path is outside the module, so it is treated as a
+// simulation-path package.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+type proc struct {
+	now func() time.Time
+	rng *rand.Rand
+}
+
+func (p *proc) deadlineBad() time.Time {
+	return time.Now().Add(5 * time.Second) // want `time.Now reads the wall clock`
+}
+
+func elapsedBad(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func (p *proc) waitBad() {
+	<-time.After(time.Millisecond) // want `time.After reads the wall clock`
+}
+
+func tickBad() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick reads the wall clock`
+}
+
+func jitterBad() int {
+	return rand.Intn(100) // want `rand.Intn uses the global math/rand source`
+}
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global math/rand source`
+}
+
+// deadlineGood reads the virtual clock the runtime context provides.
+func (p *proc) deadlineGood() time.Time {
+	return p.now().Add(5 * time.Second)
+}
+
+// jitterGood draws from the per-process seeded source.
+func (p *proc) jitterGood() int {
+	return p.rng.Intn(100)
+}
+
+// newProc builds an explicit seeded source: constructors are legal, only
+// the global-source package functions are not.
+func newProc(seed int64, now func() time.Time) *proc {
+	return &proc{now: now, rng: rand.New(rand.NewSource(seed))}
+}
+
+// durations and conversions never consult the host clock.
+func span() time.Duration {
+	return 3*time.Second + time.Duration(7)*time.Millisecond
+}
+
+// epoch anchors a virtual instant; time.Unix is a pure conversion.
+func epoch(ns int64) time.Time {
+	return time.Unix(0, ns)
+}
+
+// wallMark is a justified exception.
+func wallMark() time.Time {
+	return time.Now() //abcheck:ignore walltime host-side log timestamp; never feeds the simulation
+}

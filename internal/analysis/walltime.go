@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids wall-clock reads and the global math/rand source in
+// simulation-path packages.
+//
+// Simulation-path code runs under the virtual clock: the only legal time
+// source is the runtime context (stack.Context.Now, sim.Engine.Now) and
+// the only legal randomness is the per-process seeded *rand.Rand
+// (stack.Context.Rand, simnet.Proc.Rand, sim.Engine.Rand). A time.Now or
+// a global rand.Intn leaks host state into the event schedule and
+// silently breaks seeded reproducibility — the property the whole pinned
+// benchmark trajectory rests on.
+//
+// Constructing explicit sources (rand.New, rand.NewSource) and using pure
+// types and conversions (time.Time, time.Duration, time.Unix) is legal;
+// only the functions that consult the host clock or the shared global
+// source are flagged. Packages that face real wall clocks — the live TCP
+// runtime, its stats, the public API's caller-side timeouts, commands and
+// examples — are allowlisted (see packages.go).
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads and global math/rand in simulation-path packages",
+	Run:  runWallTime,
+}
+
+// wallClockFuncs are the package time functions that read the host clock
+// or schedule on it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "Sleep": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRandFuncs are the math/rand and math/rand/v2 package-level
+// functions backed by the shared global source. Explicit-source
+// constructors (New, NewSource, NewPCG, NewChaCha8, NewZipf) are legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+func runWallTime(pass *Pass) error {
+	if !wallTimeChecked(pass.Path) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a simulation-path package: use the runtime context's virtual clock (stack.Context.Now / SetTimer) instead",
+						name)
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global math/rand source in a simulation-path package: use the per-process seeded source (stack.Context.Rand / simnet.Proc.Rand) instead",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -134,6 +134,7 @@ func Run(e Experiment) (Result, error) {
 	if e.MaxVirtual <= 0 {
 		e.MaxVirtual = 30 * time.Second
 	}
+	//abcheck:ignore walltime Result.Wall reports host run time of the benchmark itself; it never feeds the simulation and is stripped from pinned JSON.
 	start := time.Now()
 
 	w := simnet.NewWorld(e.N, e.Params, e.Seed)
@@ -277,7 +278,7 @@ func Run(e Experiment) (Result, error) {
 		MsgsSent:    w.MsgsSent(),
 		BytesSent:   w.BytesSent(),
 		Virtual:     end,
-		Wall:        time.Since(start),
+		Wall:        time.Since(start), //abcheck:ignore walltime host-side run time for logs; excluded from byte-stable output.
 	}, nil
 }
 

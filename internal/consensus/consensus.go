@@ -162,6 +162,8 @@ const (
 const DefaultOpenDelay = 250 * time.Microsecond
 
 // Service multiplexes consensus instances over stack.ProtoCons.
+//
+//abcheck:eventloop all Service state is owned by the process's event loop
 type Service struct {
 	proto       stack.Proto
 	cfg         Config
@@ -190,6 +192,8 @@ type Service struct {
 }
 
 // NewService wires a consensus service into the node.
+//
+//abcheck:entry constructor; runs before the event loop starts
 func NewService(node *stack.Node, cfg Config) (*Service, error) {
 	if cfg.Detector == nil {
 		return nil, fmt.Errorf("consensus: nil failure detector")
@@ -216,6 +220,8 @@ func NewService(node *stack.Node, cfg Config) (*Service, error) {
 
 // Propose starts instance k with initial value v (propose(k, v, rcv) in the
 // paper). Proposing twice for the same instance is a no-op.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
 func (s *Service) Propose(k uint64, v Value) {
 	if k < s.prunedBelow {
 		return
@@ -255,6 +261,8 @@ func (s *Service) instance(k uint64) *instance {
 // get a standalone OpenMsg — one beacon covering every instance still
 // pending for them. Under pipelined load this turns the former n-1 beacon
 // messages per pipelined propose into (usually) zero extra messages.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
 func (s *Service) Open(k uint64) {
 	if k < s.prunedBelow {
 		return
@@ -389,6 +397,8 @@ func containsU64(xs []uint64, k uint64) bool {
 // only instances they have locally decided and consumed: by then this
 // process's decide relay has already been sent, so discarding the state
 // cannot strand a correct peer.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
 func (s *Service) PruneBelow(k uint64) {
 	if k <= s.prunedBelow {
 		return
@@ -600,6 +610,8 @@ func (s *Service) LogFloor() uint64 { return s.decLow }
 // RequestSync asks q to relay the decisions of instances ≥ from that it
 // still has logged. Used by the engine above when it detects a hole in its
 // decision sequence that no implicit path is filling (see SyncReqMsg).
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
 func (s *Service) RequestSync(q stack.ProcessID, from uint64) {
 	s.proto.Send(q, from, SyncReqMsg{From: from})
 }

@@ -88,6 +88,8 @@ func (e *Engine) Observe() Observation {
 // proposals run to consumption and keep their identifier claims until then,
 // so no identifier awaiting recycling is lost. window is clamped to ≥ 1;
 // maxBatch ≤ 0 means unlimited.
+//
+//abcheck:entry control-plane actuator; invoked on-loop by adaptTick and by external controllers via Do
 func (e *Engine) Retarget(window, maxBatch int) {
 	if window < 1 {
 		window = 1
@@ -104,6 +106,20 @@ func (e *Engine) Retarget(window, maxBatch int) {
 	e.maxBatch = maxBatch
 	if grow {
 		e.maybePropose()
+	}
+}
+
+// SetAntiEntropy retargets the recovery layer's anti-entropy cadence —
+// the control plane's third actuator, next to the pipeline window and the
+// batch cap of Retarget. The adaptive controller drives it from measured
+// link round-trip times (adaptTick); an external controller may drive it
+// directly, enqueued on the owning event loop like any actuator call.
+// No-op when recovery is off or d is non-positive.
+//
+//abcheck:entry control-plane actuator; invoked on-loop by adaptTick and by external controllers via Do
+func (e *Engine) SetAntiEntropy(d time.Duration) {
+	if e.link != nil && d > 0 {
+		e.link.SetInterval(d)
 	}
 }
 

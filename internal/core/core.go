@@ -140,6 +140,8 @@ type Config struct {
 }
 
 // Engine is the per-process atomic broadcast engine (Algorithm 1).
+//
+//abcheck:eventloop all Engine state is owned by the process's event loop
 type Engine struct {
 	ctx  stack.Context
 	cfg  Config
@@ -215,7 +217,10 @@ type ordRec struct {
 }
 
 // New wires an atomic broadcast engine and all its substrate layers into
-// the node.
+// the node. Every handler and timer callback the engine ever runs is
+// registered (directly or transitively) here.
+//
+//abcheck:entry constructor; runs before the event loop starts
 func New(node *stack.Node, cfg Config) (*Engine, error) {
 	if cfg.Deliver == nil {
 		return nil, fmt.Errorf("core: nil Deliver upcall")
@@ -319,6 +324,8 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 // ABroadcast atomically broadcasts a payload (Algorithm 1 lines 7-8): the
 // message is R-broadcast once; ordering happens on its identifier.
 // It returns the new message's identifier.
+//
+//abcheck:entry public API; callers invoke it on the owning event loop (simnet.World.Do / live mailbox)
 func (e *Engine) ABroadcast(payload []byte) msg.ID {
 	e.seq++
 	app := &msg.App{

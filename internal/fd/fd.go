@@ -142,8 +142,17 @@ func (h *Heartbeat) Stop() {
 	if h.cancelHB != nil {
 		h.cancelHB()
 	}
-	for _, cancel := range h.cancelTO {
-		cancel()
+	// Cancel in process order, not map order. Timer cancellation is
+	// commutative today (Cancel only marks the event dead), but running
+	// stored callbacks in map order is exactly the failure class that made
+	// notify() nondeterministic, so hold the same line here.
+	ids := make([]stack.ProcessID, 0, len(h.cancelTO))
+	for q := range h.cancelTO {
+		ids = append(ids, q)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, q := range ids {
+		h.cancelTO[q]()
 	}
 }
 

@@ -221,6 +221,8 @@ type inStream struct {
 // into the node as both the outbound Sender and the ProtoLink handler. All
 // methods run on the process's event loop (like every protocol layer), so no
 // locking is needed.
+//
+//abcheck:eventloop all Link state is owned by the process's event loop
 type Link struct {
 	node *stack.Node
 	ctx  stack.Context
@@ -242,6 +244,8 @@ const rttAlpha = 0.125
 // the link's own control traffic) are sequenced and buffered; incoming
 // SeqMsg envelopes are unwrapped, deduplicated and dispatched to their
 // protocol layer.
+//
+//abcheck:entry constructor; runs before the event loop starts
 func New(node *stack.Node, cfg Config) *Link {
 	l := &Link{
 		node: node,
@@ -291,6 +295,8 @@ func (l *Link) Interval() time.Duration { return l.cfg.Interval }
 // retransmission guard window) at runtime. A pending tick is re-armed at the
 // new cadence, so the change takes effect on the next tick rather than after
 // one more old-cadence period. Non-positive durations are ignored.
+//
+//abcheck:entry control-plane actuator; invoked on-loop by core.adaptTick and external controllers via Do
 func (l *Link) SetInterval(d time.Duration) {
 	if d <= 0 || d == l.cfg.Interval {
 		return
@@ -304,6 +310,8 @@ func (l *Link) SetInterval(d time.Duration) {
 }
 
 // Send implements stack.Sender: sequence, buffer, transmit.
+//
+//abcheck:entry stack.Sender seam, dispatched through the interface from every layer's on-loop sends
 func (l *Link) Send(to stack.ProcessID, env stack.Envelope) {
 	if env.Proto == stack.ProtoLink || env.Proto == stack.ProtoFD {
 		// Control traffic and heartbeats ride raw (see the package comment).

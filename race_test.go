@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"abcast/internal/stack"
 )
 
 // TestDeliveryQueueConcurrent hammers one deliveryQueue from several
@@ -155,4 +157,99 @@ func TestClusterConcurrentUse(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Next still blocked after Close")
 	}
+}
+
+// TestClusterAdaptiveActuatorRace exercises the adaptive control plane's
+// cross-goroutine surface under -race: while broadcasters, a stats poller
+// and per-process consumers hammer an Adaptive+Recovery cluster, an
+// external controller goroutine runs Observe→Retarget plus the
+// anti-entropy cadence actuator (core.SetAntiEntropy → relink.SetInterval)
+// against every process, racing the per-process control loops that drive
+// the same actuators from adaptTick. All actuator calls are enqueued onto
+// the owning process's event loop — the discipline the eventloop analyzer
+// enforces statically — so the run must be race-clean and every process
+// must still deliver the same total order.
+func TestClusterAdaptiveActuatorRace(t *testing.T) {
+	const n, perProc = 3, 15
+	c, err := New(n, Options{
+		Stack:    IndirectCT,
+		Adaptive: true,
+		Recovery: true,
+		Latency:  50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				if err := c.Broadcast(p, []byte(fmt.Sprintf("a%d-%d", p, i))); err != nil {
+					t.Errorf("Broadcast(p%d): %v", p, err)
+					return
+				}
+			}
+		}()
+	}
+	// The external controller: observe, retarget the window/batch pair,
+	// and retune the anti-entropy cadence, round-robin over processes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			p := i%n + 1
+			step := i
+			done := make(chan struct{})
+			c.net.Do(stack.ProcessID(p), func() {
+				o := c.engines[p].Observe()
+				c.engines[p].Retarget(o.Window+step%2, o.MaxBatch)
+				c.engines[p].SetAntiEntropy(time.Duration(1+step%4) * time.Millisecond)
+				close(done)
+			})
+			<-done
+		}
+	}()
+	// A stats poller reads the same state the controller writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			c.Stats(i%n+1, time.Second)
+		}
+	}()
+	orders := make([][]Delivery, n+1)
+	var cwg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		p := p
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for len(orders[p]) < n*perProc {
+				d, ok := c.Next(p, 20*time.Second)
+				if !ok {
+					t.Errorf("p%d: timed out after %d deliveries", p, len(orders[p]))
+					return
+				}
+				orders[p] = append(orders[p], d)
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for p := 2; p <= n; p++ {
+		if len(orders[p]) != len(orders[1]) {
+			t.Fatalf("p%d delivered %d, p1 delivered %d", p, len(orders[p]), len(orders[1]))
+		}
+		for i := range orders[1] {
+			a, b := orders[1][i], orders[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("order diverges at %d: p1=%d:%d p%d=%d:%d",
+					i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+			}
+		}
+	}
+	c.Close()
 }
