@@ -2,6 +2,7 @@ package abcast
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -157,6 +158,18 @@ type Options struct {
 	// the decision log's horizon. Figure g4 (abench -fig g4) quantifies the
 	// difference.
 	Snapshot bool
+	// Membership, when non-nil, enables dynamic membership: only the listed
+	// processes (a subset of 1..n) form the initial ordering group, and the
+	// group then changes at runtime through Join and Leave. A membership
+	// change is itself atomically broadcast, so its position in the total
+	// order — identical at every process — defines when the ordering quorums
+	// switch; processes outside the current group run the full stack but
+	// neither propose nor count toward quorums until they join, at which
+	// point they catch up through the recovery machinery (enable Recovery,
+	// and Snapshot for joiners arbitrarily far behind). Nil (the default)
+	// is the classic static group of all n processes; Join and Leave then
+	// return an error.
+	Membership []int
 	// Seed makes jitter and protocol tie-breaking deterministic.
 	Seed int64
 	// OnDeliver, if set, is called for every delivery, on the delivering
@@ -183,6 +196,14 @@ type Cluster struct {
 	dets    []*fd.Heartbeat
 	queues  []*deliveryQueue
 	n       int
+
+	// members mirrors the intended group under Options.Membership: the
+	// initial set plus every Join/Leave issued through the Cluster. It picks
+	// the sponsor that broadcasts the next change (the authoritative view
+	// lives in the engines; see Stats.Members). Guarded by memberMu — Join
+	// and Leave may race from different goroutines.
+	memberMu sync.Mutex
+	members  []int
 }
 
 // New starts an n-process cluster.
@@ -211,6 +232,19 @@ func New(n int, opts Options) (*Cluster, error) {
 	if opts.Heartbeat != nil {
 		hb = *opts.Heartbeat
 	}
+	var coreMembers []stack.ProcessID
+	if opts.Membership != nil {
+		if len(opts.Membership) == 0 {
+			return nil, fmt.Errorf("abcast: empty initial membership")
+		}
+		coreMembers = make([]stack.ProcessID, 0, len(opts.Membership))
+		for _, p := range opts.Membership {
+			if p < 1 || p > n {
+				return nil, fmt.Errorf("abcast: member %d out of range 1..%d", p, n)
+			}
+			coreMembers = append(coreMembers, stack.ProcessID(p))
+		}
+	}
 
 	net := live.NewNetwork(n,
 		live.WithLatency(opts.Latency),
@@ -225,6 +259,10 @@ func New(n int, opts Options) (*Cluster, error) {
 		dets:    make([]*fd.Heartbeat, n+1),
 		queues:  make([]*deliveryQueue, n+1),
 		n:       n,
+	}
+	if opts.Membership != nil {
+		c.members = append([]int(nil), opts.Membership...)
+		sort.Ints(c.members)
 	}
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
@@ -254,6 +292,7 @@ func New(n int, opts Options) (*Cluster, error) {
 				MaxBatch: opts.MaxBatch,
 				Adapt:    acfg,
 				Recover:  rcfg,
+				Members:  coreMembers,
 				Deliver: func(app *msg.App) {
 					d := Delivery{
 						Sender:  int(app.ID.Sender),
@@ -307,6 +346,74 @@ func (c *Cluster) Broadcast(p int, payload []byte) error {
 	return nil
 }
 
+// Join atomically broadcasts a membership change adding process p to the
+// ordering group. The change is sponsored by a current member (p itself
+// cannot reach the group yet); it takes effect at the change's position in
+// the total order, identically everywhere, after which p catches up through
+// the recovery machinery and starts ordering under the new quorums. Requires
+// Options.Membership. Returns once the change is broadcast, not once it is
+// applied — watch Stats.Members for the switch.
+func (c *Cluster) Join(p int) error { return c.changeMembership(p, true) }
+
+// Leave atomically broadcasts a membership change removing process p from
+// the ordering group. Sponsored by a member other than p when one exists, so
+// the change survives even if p stops immediately after the call. Instances
+// ordered below the change's position drain under the old membership
+// (including p); everything above uses the new quorums. Requires
+// Options.Membership.
+func (c *Cluster) Leave(p int) error { return c.changeMembership(p, false) }
+
+func (c *Cluster) changeMembership(p int, join bool) error {
+	if c.opts.Membership == nil {
+		return fmt.Errorf("abcast: dynamic membership not enabled (Options.Membership)")
+	}
+	if p < 1 || p > c.n {
+		return fmt.Errorf("abcast: process %d out of range 1..%d", p, c.n)
+	}
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	// Sponsor: the lowest-id current member that is not crashed and — for a
+	// leave — not the leaver itself, if any other member remains.
+	sponsor := 0
+	for _, m := range c.members {
+		if c.net.Proc(stack.ProcessID(m)).Crashed() {
+			continue
+		}
+		if !join && m == p && len(c.members) > 1 {
+			continue
+		}
+		sponsor = m
+		break
+	}
+	if sponsor == 0 {
+		return fmt.Errorf("abcast: no live member to sponsor the change")
+	}
+	ch := msg.ConfigChange{}
+	if join {
+		ch.Join = stack.ProcessID(p)
+	} else {
+		ch.Leave = stack.ProcessID(p)
+	}
+	c.net.Do(stack.ProcessID(sponsor), func() {
+		c.engines[sponsor].BroadcastConfig(ch)
+	})
+	// Update the sponsor-selection mirror (the engines hold the truth).
+	if join {
+		i := sort.SearchInts(c.members, p)
+		if i == len(c.members) || c.members[i] != p {
+			c.members = append(c.members, 0)
+			copy(c.members[i+1:], c.members[i:])
+			c.members[i] = p
+		}
+	} else {
+		i := sort.SearchInts(c.members, p)
+		if i < len(c.members) && c.members[i] == p && len(c.members) > 1 {
+			c.members = append(c.members[:i], c.members[i+1:]...)
+		}
+	}
+	return nil
+}
+
 // Next returns process p's next delivery, waiting up to timeout. ok is
 // false on timeout.
 func (c *Cluster) Next(p int, timeout time.Duration) (d Delivery, ok bool) {
@@ -332,6 +439,11 @@ type Stats struct {
 	// Options.Adaptive (0 MaxBatch = unlimited).
 	Window   int
 	MaxBatch int
+	// Members is the process's latest applied ordering view under
+	// Options.Membership (nil for a static cluster). Processes apply a
+	// membership change when they deliver it, so a lagging process may
+	// briefly report an older view than its peers.
+	Members []int
 }
 
 // Stats returns process p's counters, or ok=false if p is out of range or
@@ -353,7 +465,7 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 	ch := make(chan Stats, 1)
 	c.net.Do(stack.ProcessID(p), func() {
 		st := c.engines[p].Stats()
-		ch <- Stats{
+		out := Stats{
 			Received:  st.Received,
 			Delivered: st.Delivered,
 			Pending:   st.Unordered + st.OrderedQ,
@@ -361,6 +473,13 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 			Window:    st.Window,
 			MaxBatch:  st.MaxBatch,
 		}
+		if _, ms := c.engines[p].CurrentView(); ms != nil {
+			out.Members = make([]int, len(ms))
+			for j, q := range ms {
+				out.Members[j] = int(q)
+			}
+		}
+		ch <- out
 	})
 	select {
 	case st := <-ch:

@@ -401,3 +401,118 @@ func TestClusterWANTopology(t *testing.T) {
 		}
 	}
 }
+
+// waitMembers polls Stats(p) until its applied member set equals want.
+func waitMembers(t *testing.T, c *Cluster, p int, want []int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, ok := c.Stats(p, time.Second)
+		if ok && fmt.Sprint(st.Members) == fmt.Sprint(want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("p%d: members = %v (ok=%v), want %v", p, st.Members, ok, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterDynamicMembership drives the public dynamic-membership surface
+// on the live runtime: a 4-process cluster starts with group {1,2,3},
+// process 4 joins mid-stream (and must deliver the complete pre-join
+// history, in the same total order, through the recovery machinery), then
+// process 2 leaves and the remaining members keep ordering.
+func TestClusterDynamicMembership(t *testing.T) {
+	c, err := New(4, Options{
+		Stack:      IndirectCT,
+		Membership: []int{1, 2, 3},
+		Recovery:   true,
+		Snapshot:   true,
+		Latency:    100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const pre = 4
+	for i := 0; i < pre; i++ {
+		if err := c.Broadcast(1, []byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq1 := collect(t, c, 1, pre)
+	collect(t, c, 2, pre)
+	collect(t, c, 3, pre)
+
+	if err := c.Join(4); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	waitMembers(t, c, 1, []int{1, 2, 3, 4})
+
+	const post = 4
+	for i := 0; i < post; i++ {
+		if err := c.Broadcast(3, []byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq1 = append(seq1, collect(t, c, 1, post)...)
+	collect(t, c, 2, post)
+	collect(t, c, 3, post)
+	// The joiner reconstructs the entire history: pre-join traffic it never
+	// saw diffused plus the post-join tail, in the members' order.
+	seq4 := collect(t, c, 4, pre+post)
+	for i := range seq1 {
+		if seq1[i].Sender != seq4[i].Sender || seq1[i].Seq != seq4[i].Seq {
+			t.Fatalf("joiner order diverges at %d: p1=%d:%d p4=%d:%d",
+				i, seq1[i].Sender, seq1[i].Seq, seq4[i].Sender, seq4[i].Seq)
+		}
+	}
+
+	if err := c.Leave(2); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	waitMembers(t, c, 1, []int{1, 3, 4})
+	if err := c.Broadcast(1, []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3, 4} {
+		if d, ok := c.Next(p, 15*time.Second); !ok || string(d.Payload) != "final" {
+			t.Fatalf("p%d missing post-leave delivery", p)
+		}
+	}
+}
+
+// TestClusterMembershipValidation: Join/Leave require Options.Membership
+// and in-range processes; a bogus initial membership is rejected.
+func TestClusterMembershipValidation(t *testing.T) {
+	c, err := New(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Join(2); err == nil {
+		t.Error("Join accepted without Options.Membership")
+	}
+	if err := c.Leave(2); err == nil {
+		t.Error("Leave accepted without Options.Membership")
+	}
+	if _, err := New(3, Options{Membership: []int{}}); err == nil {
+		t.Error("empty Membership accepted")
+	}
+	if _, err := New(3, Options{Membership: []int{1, 4}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := New(3, Options{Membership: []int{1, 1}}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	d, err := New(3, Options{Membership: []int{1, 2}, Recovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Join(9); err == nil {
+		t.Error("Join accepted an out-of-range process")
+	}
+}

@@ -138,19 +138,73 @@
 // The tuning-knob matrix (defaults in parentheses; each knob also exists on
 // core.Config for engine-level embedding):
 //
-//	knob       (default)     effect
-//	Pipeline   (1)           consensus instances run concurrently; raises
-//	                         the ordering ceiling W× when MaxBatch binds
-//	MaxBatch   (0 = ∞)       identifiers ordered per instance; bounds
-//	                         per-instance work, trades burst latency
-//	Recovery   (off)         relink retransmission + anti-entropy,
-//	                         decide-relay, payload fetch: drop-mode cuts
-//	                         become survivable
-//	Snapshot   (off)         state transfer past the decision-log horizon
-//	                         (implies Recovery): arbitrarily deep lags heal
-//	Adaptive   (off)         backlog-driven W/MaxBatch retargeting plus
-//	                         RTT-driven anti-entropy cadence; Pipeline and
-//	                         MaxBatch become initial values
+//	knob        (default)     effect
+//	Pipeline    (1)           consensus instances run concurrently; raises
+//	                          the ordering ceiling W× when MaxBatch binds
+//	MaxBatch    (0 = ∞)       identifiers ordered per instance; bounds
+//	                          per-instance work, trades burst latency
+//	Recovery    (off)         relink retransmission + anti-entropy,
+//	                          decide-relay, payload fetch: drop-mode cuts
+//	                          become survivable
+//	Snapshot    (off)         state transfer past the decision-log horizon
+//	                          (implies Recovery): arbitrarily deep lags heal
+//	Adaptive    (off)         backlog-driven W/MaxBatch retargeting plus
+//	                          RTT-driven anti-entropy cadence; Pipeline and
+//	                          MaxBatch become initial values
+//	Membership  (nil=static)  dynamic ordering group: Join/Leave changes
+//	                          ride the total order; pair with Recovery
+//	                          (and Snapshot for arbitrarily old joiners)
+//
+// # Dynamic membership
+//
+// Options.Membership (engine side: core.Config.Members) turns the fixed
+// n-process group into a dynamic one: only the listed processes form the
+// initial ordering group, and Cluster.Join / Cluster.Leave change it at
+// runtime. A membership change is not a side channel — it is atomically
+// broadcast like any payload and takes a position in the total order, so
+// every process observes it at the same delivery point. That point defines
+// the switch: consensus instances at or above deliverySerial+ConfigLag run
+// under the new member set (quorum thresholds, coordinator rotation,
+// per-instance fan-out), everything below drains under the old one, and the
+// transport-level view (payload diffusion, heartbeat monitoring, relink
+// anti-entropy) retargets immediately at the delivery point. The lag exists
+// because pipelining may already have instances proposed beyond the
+// delivery frontier; proposing is gated so no instance's member set can
+// change retroactively.
+//
+// A joiner bootstraps through the recovery machinery, not a separate
+// protocol: members that apply the join introduce it with a decision replay
+// (or a snapshot offer when it is behind the decision log's floor), decide
+// dissemination includes the latest applied view so the joiner follows the
+// tail of pre-switch instances even if the group then goes quiescent, and
+// payload fetch fills in the messages it never saw diffused. A leaver
+// drains every instance below the switch, then retires; the failure
+// detectors mark it suspected the instant the change applies, so instances
+// still draining under old views rotate past it without timeout waits.
+//
+// The churn guarantee matrix, pinned by the property-test families in
+// internal/core/membership_test.go and the public-API test in
+// cluster_test.go:
+//
+//	event                    guarantee
+//	join                     applied at one serial everywhere; the joiner
+//	                         reconstructs the full pre-join history in
+//	                         order (relay + fetch; snapshot when deep)
+//	leave                    instances below the switch drain with the
+//	                         leaver counted; above it quorums shrink —
+//	                         ordering never stalls on the departed member
+//	churn + partition/crash  total order, integrity and validity hold
+//	                         under any composition; safety is never
+//	                         traded for the switch
+//	quiescent switch         the switch completes without application
+//	                         load: members drive the pipeline to the
+//	                         effective serial with empty instances
+//
+// Dynamic membership wants Recovery on (Snapshot for joiners arbitrarily
+// far behind): payloads diffused before a join miss the joiner by
+// construction, and the fetch path is what repairs that. Figure m1
+// (`abench -fig m1`) measures delivered throughput across a join+leave
+// episode against a static group, on the metro and WAN profiles.
 //
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,

@@ -103,11 +103,32 @@ type Experiment struct {
 	// replay it cannot use. Figure g4 compares relay-only against it.
 	Snapshot bool
 
+	// Members, when non-nil, enables dynamic membership: only the listed
+	// processes (a subset of 1..N) form the initial ordering group. The
+	// workload then comes from the stable members only (initial members that
+	// no churn event removes), and full delivery is measured at the members
+	// of the final view — the processes the run's guarantees are about.
+	Members []int
+	// Churn schedules membership changes: at each event's virtual instant,
+	// process From (a member at that time) atomically broadcasts the
+	// join/leave, which takes effect at its delivery point in the total
+	// order. Requires Members; churn runs want Recovery (and Snapshot for
+	// deep joins) so joiners can catch up.
+	Churn []ChurnEvent
+
 	// MaxVirtual caps the simulated time after the last send; messages
 	// undelivered by then (saturation) still count into the mean with
 	// the cap as a floor, so saturated points read as "very slow" rather
 	// than being silently dropped.
 	MaxVirtual time.Duration
+}
+
+// ChurnEvent is one scheduled membership change of an experiment.
+type ChurnEvent struct {
+	At    time.Duration // virtual instant the sponsor broadcasts the change
+	From  int           // sponsoring member that broadcasts it
+	Join  int           // process joining (0 = none)
+	Leave int           // process leaving (0 = none)
 }
 
 // Result is the outcome of one experiment.
@@ -129,6 +150,9 @@ func Run(e Experiment) (Result, error) {
 		return Result{}, fmt.Errorf("bench: invalid experiment %+v", e)
 	}
 	if err := validLoad(e.Load); err != nil {
+		return Result{}, err
+	}
+	if err := e.validMembership(); err != nil {
 		return Result{}, err
 	}
 	if e.MaxVirtual <= 0 {
@@ -178,6 +202,13 @@ func Run(e Experiment) (Result, error) {
 		if e.Adaptive {
 			acfg = &adapt.Config{}
 		}
+		var members []stack.ProcessID
+		if e.Members != nil {
+			members = make([]stack.ProcessID, len(e.Members))
+			for j, m := range e.Members {
+				members[j] = stack.ProcessID(m)
+			}
+		}
 		eng, err := core.New(node, core.Config{
 			Variant:      e.Variant,
 			RB:           e.RB,
@@ -187,6 +218,7 @@ func Run(e Experiment) (Result, error) {
 			Pipeline:     e.Pipeline,
 			Adapt:        acfg,
 			Recover:      rcfg,
+			Members:      members,
 			Deliver: func(app *msg.App) {
 				deliveredAt[i][app.ID] = virt(w)
 			},
@@ -197,10 +229,22 @@ func Run(e Experiment) (Result, error) {
 		engines[i] = eng
 	}
 
+	// Membership churn: each event's sponsor broadcasts the change at its
+	// scheduled instant, on its own event loop like any other send.
+	for _, ce := range e.Churn {
+		ce := ce
+		w.After(stack.ProcessID(ce.From), ce.At, func() {
+			engines[ce.From].BroadcastConfig(msg.ConfigChange{
+				Join:  stack.ProcessID(ce.Join),
+				Leave: stack.ProcessID(ce.Leave),
+			})
+		})
+	}
+
 	// Symmetric Poisson workload: round-robin senders, each keeping its
 	// own Poisson clock, with exponential inter-arrival times drawn at the
 	// offered rate current at that clock (constant, or following the Load
-	// schedule).
+	// schedule). Under dynamic membership only the stable members send.
 	rng := rand.New(rand.NewSource(e.Seed*6364136223846793005 + 1442695040888963407))
 	var lastSend time.Duration
 	for k, ev := range sendSchedule(&e, rng, total) {
@@ -218,12 +262,14 @@ func Run(e Experiment) (Result, error) {
 		})
 	}
 
-	// Run in slices until every measured message is delivered everywhere
-	// or the horizon passes.
+	// Run in slices until every measured message is delivered at every
+	// measured process (the final view's members under churn, everyone
+	// otherwise) or the horizon passes.
+	procs := e.measuredProcs()
 	horizon := lastSend + e.MaxVirtual
 	for virt(w) < horizon {
 		w.RunFor(250 * time.Millisecond)
-		if len(sentAt) == e.Messages && allDelivered(sentAt, deliveredAt, e.N) {
+		if len(sentAt) == e.Messages && allDelivered(sentAt, deliveredAt, procs) {
 			break
 		}
 	}
@@ -244,7 +290,7 @@ func Run(e Experiment) (Result, error) {
 		t0 := sentAt[id]
 		sum := 0.0
 		missing := false
-		for p := 1; p <= e.N; p++ {
+		for _, p := range procs {
 			td, ok := deliveredAt[p][id]
 			if !ok {
 				missing = true
@@ -252,7 +298,7 @@ func Run(e Experiment) (Result, error) {
 			}
 			sum += float64(td-t0) / float64(time.Millisecond)
 		}
-		lat.Add(sum / float64(e.N))
+		lat.Add(sum / float64(len(procs)))
 		if missing {
 			undelivered++
 		} else {
@@ -289,16 +335,106 @@ func virt(w *simnet.World) time.Duration {
 }
 
 // allDelivered reports whether every measured message reached every
-// process.
-func allDelivered(sentAt map[msg.ID]time.Duration, deliveredAt []map[msg.ID]time.Duration, n int) bool {
+// measured process.
+func allDelivered(sentAt map[msg.ID]time.Duration, deliveredAt []map[msg.ID]time.Duration, procs []int) bool {
 	for id := range sentAt {
-		for p := 1; p <= n; p++ {
+		for _, p := range procs {
 			if _, ok := deliveredAt[p][id]; !ok {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// validMembership checks the experiment's Members/Churn configuration.
+func (e *Experiment) validMembership() error {
+	if e.Members == nil {
+		if len(e.Churn) > 0 {
+			return fmt.Errorf("bench: Churn requires Members")
+		}
+		return nil
+	}
+	if len(e.Members) == 0 {
+		return fmt.Errorf("bench: empty initial member set")
+	}
+	for _, m := range e.Members {
+		if m < 1 || m > e.N {
+			return fmt.Errorf("bench: member %d out of range 1..%d", m, e.N)
+		}
+	}
+	for _, ce := range e.Churn {
+		if ce.From < 1 || ce.From > e.N {
+			return fmt.Errorf("bench: churn sponsor %d out of range 1..%d", ce.From, e.N)
+		}
+		if ce.Join < 0 || ce.Join > e.N || ce.Leave < 0 || ce.Leave > e.N {
+			return fmt.Errorf("bench: churn target out of range 1..%d", e.N)
+		}
+		if ce.Join == 0 && ce.Leave == 0 {
+			return fmt.Errorf("bench: churn event with no join and no leave")
+		}
+	}
+	return nil
+}
+
+// senderProcs returns the workload's senders: every process for a static
+// run, the stable members (initial members no churn event removes) under
+// dynamic membership — a joiner cannot send before its join applies and a
+// leaver's late sends could never complete, so neither belongs in a
+// full-delivery workload.
+func (e *Experiment) senderProcs() []stack.ProcessID {
+	if e.Members == nil {
+		out := make([]stack.ProcessID, e.N)
+		for i := range out {
+			out[i] = stack.ProcessID(i + 1)
+		}
+		return out
+	}
+	leaves := make(map[int]bool, len(e.Churn))
+	for _, ce := range e.Churn {
+		if ce.Leave != 0 {
+			leaves[ce.Leave] = true
+		}
+	}
+	out := make([]stack.ProcessID, 0, len(e.Members))
+	for _, m := range e.Members {
+		if !leaves[m] {
+			out = append(out, stack.ProcessID(m))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// measuredProcs returns the processes full delivery is measured at: every
+// process for a static run, the final view's members under churn (applying
+// the scheduled joins and leaves to the initial set, in schedule order).
+func (e *Experiment) measuredProcs() []int {
+	if e.Members == nil {
+		out := make([]int, e.N)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	in := make(map[int]bool, len(e.Members))
+	for _, m := range e.Members {
+		in[m] = true
+	}
+	for _, ce := range e.Churn {
+		if ce.Join != 0 {
+			in[ce.Join] = true
+		}
+		if ce.Leave != 0 {
+			delete(in, ce.Leave)
+		}
+	}
+	out := make([]int, 0, len(in))
+	for m := range in {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // defaultMessages scales the measured message count with throughput so that

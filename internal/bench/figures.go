@@ -39,6 +39,10 @@ type StackSpec struct {
 	// plane instead. Figure p2 pits static widths against the controller.
 	Pipeline int
 	Adaptive bool
+	// Churn marks the curve that runs the figure's membership-change
+	// schedule; the figure's Build decides the actual events. Figure m1
+	// compares a static member set against one join plus one leave.
+	Churn bool
 }
 
 // Metric selects what a figure's cells report.
@@ -607,6 +611,60 @@ func Figures() map[string]FigureSpec {
 				Adaptive:   s.Adaptive,
 				MaxVirtual: maxVirtual,
 			}
+		},
+	})
+	figs = append(figs, FigureSpec{
+		ID:     "m1",
+		Title:  "EXTENSION: delivered throughput under membership churn: static member set vs one join + one leave riding the total order, universe n=4 starting as {1,2,3}, 100 B, IndirectCT, W=4, MaxBatch=4, recovery+snapshot; x=1: Setup 2 @ 1 ms links (2000 msg/s), x=2: wan3 (160 msg/s)",
+		Desc:   "membership churn: static members vs join+leave, metro and wan3",
+		XLabel: "topology [1=metro, 2=wan3]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2},
+		Stacks: []StackSpec{
+			{Label: "Static members", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Pipeline: 4, Snapshot: true},
+			{Label: "Join+Leave", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Pipeline: 4, Snapshot: true, Churn: true},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			params := PipelineParams()
+			throughput := 2000.0
+			maxVirtual := 20 * time.Second
+			if x == 2 {
+				params = netmodel.WAN3Sites()
+				throughput = 160.0
+				maxVirtual = 60 * time.Second
+			}
+			measured, warmup := defaultMessages(throughput, scale)
+			// The churn schedule rides the send window: process 4 joins a
+			// third of the way in, process 3 leaves at two thirds — so the
+			// run exercises ordering across both switches while load is
+			// still flowing, and the final view {1,2,4} measures a joiner
+			// that had to catch up from serial 1. Member 1 sponsors both.
+			sendDur := time.Duration(float64(measured+warmup) / throughput * float64(time.Second))
+			e := Experiment{
+				Name:       fmt.Sprintf("%s x=%.0f churn", s.Label, x),
+				N:          4,
+				Params:     params,
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Throughput: throughput,
+				Payload:    100,
+				Messages:   measured,
+				Warmup:     warmup,
+				Seed:       seed,
+				MaxBatch:   s.MaxBatch,
+				Pipeline:   s.Pipeline,
+				Recovery:   true,
+				Snapshot:   s.Snapshot,
+				Members:    []int{1, 2, 3},
+				MaxVirtual: maxVirtual,
+			}
+			if s.Churn {
+				e.Churn = []ChurnEvent{
+					{At: sendDur / 3, From: 1, Join: 4},
+					{At: sendDur * 2 / 3, From: 1, Leave: 3},
+				}
+			}
+			return e
 		},
 	})
 	out := make(map[string]FigureSpec, len(figs))

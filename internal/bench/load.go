@@ -75,17 +75,18 @@ type sendEvent struct {
 // arithmetic — which the byte-stable BENCH_<rev>.json trajectory depends
 // on.
 func sendSchedule(e *Experiment, rng *rand.Rand, total int) []sendEvent {
+	senders := e.senderProcs()
 	next := make([]time.Duration, e.N+1)
 	out := make([]sendEvent, 0, total)
 	for k := 0; k < total; k++ {
-		p := stack.ProcessID(k%e.N + 1)
+		p := senders[k%len(senders)]
 		t := next[p]
 		rate, boundary := e.offeredAt(t)
 		for rate <= 0 {
 			t = boundary
 			rate, boundary = e.offeredAt(t)
 		}
-		perProc := rate / float64(e.N)
+		perProc := rate / float64(len(senders))
 		gap := time.Duration(rng.ExpFloat64() / perProc * float64(time.Second))
 		next[p] = t + gap
 		out = append(out, sendEvent{p: p, at: next[p]})

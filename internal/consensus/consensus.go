@@ -16,6 +16,7 @@ package consensus
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"abcast/internal/fd"
@@ -142,6 +143,17 @@ type Config struct {
 	// relays. Without the callback, a deep-lagged peer gets the best-effort
 	// logged tail, which cannot close its gap.
 	OnDeepLag func(q stack.ProcessID, from uint64)
+	// ViewAt, if set, resolves the member set of instance k — the dynamic
+	// membership seam. The returned slice must be sorted, deterministic for
+	// a given k across all processes (the atomic broadcast engine derives it
+	// from configuration changes riding the total order itself), and stable
+	// once any process may have proposed to k. Quorum thresholds, the
+	// rotating coordinator, and the broadcast fan-out of instance k are all
+	// computed over ViewAt(k) instead of the full group; algorithm traffic
+	// from a process outside instance k's view is ignored (decisions are
+	// always accepted — they are self-certifying). Nil = the static full
+	// group 1..N.
+	ViewAt func(k uint64) []stack.ProcessID
 }
 
 // Relay defaults.
@@ -269,6 +281,19 @@ func (s *Service) Open(k uint64) {
 	}
 	ctx := s.proto.Ctx()
 	self := ctx.ID()
+	if ms := s.membersOf(k); ms != nil {
+		for _, q := range ms {
+			if q == self {
+				continue
+			}
+			if !containsU64(s.pendingOpen[q], k) {
+				s.pendingOpen[q] = append(s.pendingOpen[q], k)
+				s.opensAnnounced++
+			}
+		}
+		s.armOpenFlush()
+		return
+	}
 	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
 		if q == self {
 			continue
@@ -279,6 +304,14 @@ func (s *Service) Open(k uint64) {
 		}
 	}
 	s.armOpenFlush()
+}
+
+// membersOf resolves instance k's member set (nil = the static full group).
+func (s *Service) membersOf(k uint64) []stack.ProcessID {
+	if s.cfg.ViewAt == nil {
+		return nil
+	}
+	return s.cfg.ViewAt(k)
 }
 
 // armOpenFlush schedules the standalone-beacon fallback for pending open
@@ -358,11 +391,66 @@ func (s *Service) broadcast(k uint64, m stack.Message) {
 	s.proto.Send(s.proto.Ctx().ID(), k, m)
 }
 
+// broadcastDecideMsg disseminates a decide to the union of instance k's
+// view and the latest applied view (self-copy last when includeSelf, which
+// preserves the live runtime's ordering contract). Quorum-bearing algorithm
+// traffic must stay inside the instance's view, but a decision is safe to
+// hand to any process — and a joiner admitted by a change whose quorum
+// switch is still ahead depends on exactly these decides: instances between
+// the change's delivery point and its effective serial run under old views
+// that exclude the joiner, so if the group quiesces before the switch,
+// decides restricted to the old view would strand it with no evidence of
+// the tail to sync on.
+func (s *Service) broadcastDecideMsg(k uint64, m stack.Message, includeSelf bool) {
+	ctx := s.proto.Ctx()
+	self := ctx.ID()
+	if s.cfg.ViewAt == nil {
+		for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
+			if q != self {
+				s.send(q, k, m)
+			}
+		}
+		if includeSelf {
+			s.proto.Send(self, k, m)
+		}
+		return
+	}
+	cur := s.cfg.ViewAt(k)
+	latest := s.cfg.ViewAt(^uint64(0))
+	seen := make(map[stack.ProcessID]bool, len(cur)+len(latest))
+	targets := make([]stack.ProcessID, 0, len(cur)+len(latest))
+	for _, ms := range [][]stack.ProcessID{cur, latest} {
+		for _, q := range ms {
+			if !seen[q] {
+				seen[q] = true
+				targets = append(targets, q)
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, q := range targets {
+		if q != self {
+			s.send(q, k, m)
+		}
+	}
+	if includeSelf {
+		s.proto.Send(self, k, m)
+	}
+}
+
 // broadcastOthers is stack.Proto.BroadcastOthers through the piggybacking
-// send path.
+// send path, restricted to instance k's view under dynamic membership.
 func (s *Service) broadcastOthers(k uint64, m stack.Message) {
 	ctx := s.proto.Ctx()
 	self := ctx.ID()
+	if ms := s.membersOf(k); ms != nil {
+		for _, q := range ms {
+			if q != self {
+				s.send(q, k, m)
+			}
+		}
+		return
+	}
 	for q := stack.ProcessID(1); q <= stack.ProcessID(ctx.N()); q++ {
 		if q != self {
 			s.send(q, k, m)
@@ -409,6 +497,23 @@ func (s *Service) PruneBelow(k uint64) {
 		}
 	}
 	s.prunedBelow = k
+}
+
+// ForgetDecided drops the settled instance records with serial number ≥
+// from, so that a re-received (relayed) DecideMsg recreates the instance and
+// fires the Decide upcall again. It exists for transient-fault recovery: an
+// engine whose volatile decision bookkeeping was corrupted re-learns the
+// lost decisions through the decide-relay, but a settled instance record
+// would silently swallow the re-delivery (onDecide deduplicates). Undecided
+// instances are untouched — they will still decide and fire on their own.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
+func (s *Service) ForgetDecided(from uint64) {
+	for k, inst := range s.insts {
+		if k >= from && inst.decided {
+			delete(s.insts, k)
+		}
+	}
 }
 
 // InstanceCount reports the number of retained instances (for tests and
@@ -585,13 +690,40 @@ func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
 		start = s.decLow // best effort: older decisions are evicted
 	}
 	sent := 0
+	last := uint64(0)
 	for j := start; j <= s.maxDecided && sent < relayBatch; j++ {
 		if v, ok := s.decisions[j]; ok {
 			s.send(q, j, DecideMsg{Est: v})
 			sent++
+			last = j
+		}
+	}
+	if s.cfg.ViewAt != nil && sent == relayBatch && last < s.maxDecided {
+		// Dynamic membership: a truncated replay also pins the horizon by
+		// sending the newest decision. The peer parks it in its pending set,
+		// which keeps its sync loop pulling batch after batch until it
+		// actually reaches maxDecided — without this, a joiner catching up
+		// from a quiescent group consumes one batch, finds its pending set
+		// empty, and stops asking. (Static relays are unchanged: there the
+		// peer's own stale instances keep re-triggering relay.)
+		if v, ok := s.decisions[s.maxDecided]; ok {
+			s.send(q, s.maxDecided, DecideMsg{Est: v})
+			sent++
 		}
 	}
 	s.relaysSent += sent
+}
+
+// Introduce hands a freshly joined process the decision history: a direct
+// relay from the log's origin, which replays decisions to a shallow joiner
+// and routes one behind the decision-log floor to Config.OnDeepLag (the
+// snapshot path). The dynamic-membership engine calls it from every member
+// applying a join, so the joiner bootstraps even if the group never orders
+// another message; the per-peer cooldown keeps the n-fold call cheap.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
+func (s *Service) Introduce(q stack.ProcessID) {
+	s.maybeRelay(q, 1)
 }
 
 // RelayCount reports how many decisions the decide-relay has re-sent (for

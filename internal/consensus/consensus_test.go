@@ -29,8 +29,10 @@ type harness struct {
 }
 
 // newHarness builds an n-process system with the given algorithm flavour.
-// rcv may be nil for non-indirect configurations.
-func newHarness(t *testing.T, n int, algo Algo, indirect bool, rcv func(p stack.ProcessID, v Value) bool) *harness {
+// rcv may be nil for non-indirect configurations. Optional mutators adjust
+// each process's Config before construction (e.g. to install a view
+// resolver).
+func newHarness(t *testing.T, n int, algo Algo, indirect bool, rcv func(p stack.ProcessID, v Value) bool, mutate ...func(*Config)) *harness {
 	t.Helper()
 	h := &harness{
 		w:           simnet.NewWorld(n, netmodel.Setup1(), 42),
@@ -48,7 +50,7 @@ func newHarness(t *testing.T, n int, algo Algo, indirect bool, rcv func(p stack.
 		if rcv != nil {
 			rcvFn = func(v Value) bool { return rcv(stack.ProcessID(i), v) }
 		}
-		svc, err := NewService(h.w.Node(stack.ProcessID(i)), Config{
+		cfg := Config{
 			Algo:     algo,
 			Indirect: indirect,
 			Rcv:      rcvFn,
@@ -57,7 +59,11 @@ func newHarness(t *testing.T, n int, algo Algo, indirect bool, rcv func(p stack.
 				h.decisions[i][k] = v
 				h.decideCount[i][k]++
 			},
-		})
+		}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		svc, err := NewService(h.w.Node(stack.ProcessID(i)), cfg)
 		if err != nil {
 			t.Fatalf("NewService(p%d): %v", i, err)
 		}

@@ -41,8 +41,9 @@ func newCTInst(in *instance) *ctInst {
 	}
 }
 
-func (c *ctInst) n() int                { return c.in.ctx().N() }
-func (c *ctInst) self() stack.ProcessID { return c.in.ctx().ID() }
+func (c *ctInst) n() int                      { return c.in.nMembers() }
+func (c *ctInst) coord(r int) stack.ProcessID { return c.in.coordOf(r) }
+func (c *ctInst) self() stack.ProcessID       { return c.in.ctx().ID() }
 
 // propose implements algoImpl.
 func (c *ctInst) propose(v Value) {
@@ -61,7 +62,7 @@ func (c *ctInst) nextRound() {
 	c.r++
 	c.phase = 3
 	r := c.r
-	co := coord(r, c.n())
+	co := c.coord(r)
 
 	// Phase 1: send the current estimate to the round's coordinator
 	// (skipped in round 1, where the coordinator uses its own estimate).
@@ -95,7 +96,7 @@ func (c *ctInst) nextRound() {
 // entered round r, and holds ⌈(n+1)/2⌉ Phase 1 estimates for it: it selects
 // the estimate with the largest timestamp (line 17-18) and proposes it.
 func (c *ctInst) tryCoordinatorPropose(r int) {
-	if c.r != r || coord(r, c.n()) != c.self() || c.propSent[r] {
+	if c.r != r || c.coord(r) != c.self() || c.propSent[r] {
 		return
 	}
 	byProc := c.ests[r]
@@ -103,11 +104,20 @@ func (c *ctInst) tryCoordinatorPropose(r int) {
 		return
 	}
 	// Deterministic selection: among the largest timestamps, take the
-	// estimate of the lowest process id.
+	// estimate of the lowest process id (the member list is sorted, so the
+	// dynamic-view loop preserves that rule).
 	best := CTEstimateMsg{TS: -1}
-	for q := stack.ProcessID(1); q <= stack.ProcessID(c.n()); q++ {
-		if e, ok := byProc[q]; ok && e.TS > best.TS {
-			best = e
+	if ms := c.in.members; ms != nil {
+		for _, q := range ms {
+			if e, ok := byProc[q]; ok && e.TS > best.TS {
+				best = e
+			}
+		}
+	} else {
+		for q := stack.ProcessID(1); q <= stack.ProcessID(c.n()); q++ {
+			if e, ok := byProc[q]; ok && e.TS > best.TS {
+				best = e
+			}
 		}
 	}
 	// In the indirect algorithm this value is estimatec, the
@@ -131,7 +141,7 @@ func (c *ctInst) actOnProposal(r int) {
 		// coordinator's proposal have been received.
 		accept = c.in.rcvHolds(v)
 	}
-	co := coord(r, c.n())
+	co := c.coord(r)
 	if accept {
 		c.estimate = v
 		c.ts = r
@@ -149,14 +159,14 @@ func (c *ctInst) refuse(r int) {
 	if c.r != r || c.phase != 3 {
 		return
 	}
-	c.in.svc.send(coord(r, c.n()), c.in.k, CTAckMsg{R: r, Nack: true})
+	c.in.svc.send(c.coord(r), c.in.k, CTAckMsg{R: r, Nack: true})
 	c.afterPhase3(r)
 }
 
 // afterPhase3 moves a non-coordinator to the next round; the coordinator
 // enters Phase 4 to collect replies.
 func (c *ctInst) afterPhase3(r int) {
-	if coord(r, c.n()) == c.self() {
+	if c.coord(r) == c.self() {
 		c.phase = 4
 		c.tryCoordinatorResolve(r)
 		return
@@ -214,7 +224,7 @@ func (c *ctInst) dispatch(from stack.ProcessID, m stack.Message) {
 // onSuspect implements algoImpl: a Phase 3 wait aborts when the current
 // coordinator becomes suspected.
 func (c *ctInst) onSuspect(q stack.ProcessID) {
-	if c.phase == 3 && q == coord(c.r, c.n()) {
+	if c.phase == 3 && q == c.coord(c.r) {
 		if _, ok := c.proposals[c.r]; !ok {
 			c.refuse(c.r)
 		}

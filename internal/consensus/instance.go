@@ -15,6 +15,12 @@ type instance struct {
 	buffer     []bufferedMsg
 	fdCancel   func()
 	impl       algoImpl
+	// members is the instance's view under dynamic membership, cached at
+	// propose time — the point where quorum math starts. (An instance can be
+	// created earlier, by buffered traffic, when the local view may still be
+	// behind; Config.ViewAt guarantees stability by then.) Nil = the static
+	// full group 1..N.
+	members []stack.ProcessID
 }
 
 // algoImpl is the algorithm-specific round machinery.
@@ -42,9 +48,44 @@ func newInstance(svc *Service, k uint64) *instance {
 // ctx is a convenience accessor.
 func (in *instance) ctx() stack.Context { return in.svc.proto.Ctx() }
 
+// nMembers returns the size of the instance's view (the n of its quorum
+// thresholds).
+func (in *instance) nMembers() int {
+	if in.members != nil {
+		return len(in.members)
+	}
+	return in.ctx().N()
+}
+
+// coordOf returns the rotating coordinator of round r within the instance's
+// view. For the static full group this is (r mod n) + 1, exactly the
+// paper's rule, because the sorted member list of 1..n maps index r mod n to
+// process r mod n + 1.
+func (in *instance) coordOf(r int) stack.ProcessID {
+	if ms := in.members; ms != nil {
+		return ms[r%len(ms)]
+	}
+	return coord(r, in.ctx().N())
+}
+
+// fromMember reports whether q belongs to the instance's view (always true
+// for the static full group — the transport only carries ids 1..N).
+func (in *instance) fromMember(q stack.ProcessID) bool {
+	if in.members == nil {
+		return true
+	}
+	for _, m := range in.members {
+		if m == q {
+			return true
+		}
+	}
+	return false
+}
+
 // propose starts the instance locally and replays any buffered traffic.
 func (in *instance) propose(v Value) {
 	in.proposed = true
+	in.members = in.svc.membersOf(in.k)
 	in.fdCancel = in.svc.cfg.Detector.Subscribe(func(q stack.ProcessID, suspected bool) {
 		if suspected && !in.decided && in.impl != nil {
 			in.impl.onSuspect(q)
@@ -59,14 +100,23 @@ func (in *instance) propose(v Value) {
 			break
 		}
 		b := in.buffer[i]
+		if !in.fromMember(b.from) {
+			continue
+		}
 		in.impl.dispatch(b.from, b.m)
 	}
 	in.buffer = nil
 }
 
-// dispatch forwards algorithm traffic to the implementation.
+// dispatch forwards algorithm traffic to the implementation. Traffic from a
+// process outside the instance's view is dropped: a non-member must not
+// count toward quorums computed over the view (decisions never come through
+// here — they are accepted from anyone).
 func (in *instance) dispatch(from stack.ProcessID, m stack.Message) {
 	if in.decided || in.impl == nil {
+		return
+	}
+	if !in.fromMember(from) {
 		return
 	}
 	in.impl.dispatch(from, m)
@@ -80,7 +130,7 @@ func (in *instance) broadcastDecide(v Value) {
 		return
 	}
 	in.decideSent = true
-	in.svc.broadcast(in.k, DecideMsg{Est: v})
+	in.svc.broadcastDecideMsg(in.k, DecideMsg{Est: v}, true)
 }
 
 // onDecide handles a received decide message: relay once (reliable
@@ -92,7 +142,7 @@ func (in *instance) onDecide(v Value) {
 	}
 	if !in.decideSent {
 		in.decideSent = true
-		in.svc.broadcastOthers(in.k, DecideMsg{Est: v})
+		in.svc.broadcastDecideMsg(in.k, DecideMsg{Est: v}, false)
 	}
 	in.decided = true
 	in.svc.logDecision(in.k, v)

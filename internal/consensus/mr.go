@@ -56,8 +56,9 @@ func newMRInst(in *instance) *mrInst {
 	}
 }
 
-func (m *mrInst) n() int                { return m.in.ctx().N() }
-func (m *mrInst) self() stack.ProcessID { return m.in.ctx().ID() }
+func (m *mrInst) n() int                      { return m.in.nMembers() }
+func (m *mrInst) coord(r int) stack.ProcessID { return m.in.coordOf(r) }
+func (m *mrInst) self() stack.ProcessID       { return m.in.ctx().ID() }
 
 // quorum returns the Phase 2 wait threshold of the configured flavour.
 func (m *mrInst) quorum() int {
@@ -81,7 +82,7 @@ func (m *mrInst) nextRound() {
 	}
 	m.r++
 	r := m.r
-	co := coord(r, m.n())
+	co := m.coord(r)
 
 	if co == m.self() {
 		// Phase 1, coordinator: its broadcast is simultaneously the
@@ -127,7 +128,7 @@ func (m *mrInst) dispatch(from stack.ProcessID, raw stack.Message) {
 		return
 	}
 	r := e.R
-	if !e.Bottom && from == coord(r, m.n()) {
+	if !e.Bottom && from == m.coord(r) {
 		if _, seen := m.coordVal[r]; !seen {
 			m.coordVal[r] = e.Est
 		}
@@ -198,7 +199,7 @@ func (m *mrInst) tryEvaluate(r int) {
 // releases the Phase 1 wait with a ⊥ relay.
 func (m *mrInst) onSuspect(q stack.ProcessID) {
 	r := m.r
-	if r >= 1 && q == coord(r, m.n()) && !m.echoSent[r] {
+	if r >= 1 && q == m.coord(r) && !m.echoSent[r] {
 		if _, have := m.coordVal[r]; !have {
 			m.sendEcho(r, nil)
 		}

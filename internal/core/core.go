@@ -129,7 +129,27 @@ type Config struct {
 	// delivery in total order even across drop-mode (black-hole) network
 	// partitions. See RecoverConfig.
 	Recover *RecoverConfig
-	// Deliver receives adelivered messages, in total order.
+	// Members, when non-nil, enables dynamic membership: the sorted initial
+	// member set (a subset of the universe 1..N; this process need not be in
+	// it). Membership then changes only through configuration messages
+	// riding the total order (BroadcastConfig): a delivered change switches
+	// the transport-level view (diffusion, heartbeats, relink) immediately
+	// and the consensus-level view — quorums, coordinator rotation,
+	// per-instance fan-out — at instance deliveryPoint+ConfigLag, so every
+	// process resolves the same member set for the same instance. Nil (the
+	// default) is the static full group: no view bookkeeping, no behavioral
+	// change anywhere.
+	Members []stack.ProcessID
+	// ConfigLag is the number of ordering serials between a configuration
+	// change's delivery point and the first consensus instance that uses the
+	// new member set (0 = DefaultConfigLag). It must exceed the largest
+	// pipeline width the run can reach (the adaptive controller's cap
+	// included): instances up to viewFrontier+ConfigLag-1 may be proposed to
+	// concurrently, and their views must already be locally determined.
+	ConfigLag int
+	// Deliver receives adelivered messages, in total order. Configuration
+	// messages are consumed by the engine at the delivery boundary and do
+	// not reach this callback.
 	Deliver Deliver
 	// OnDecision, if set, is invoked at the instant this process learns
 	// each consensus decision, before the decision is applied. Tests use
@@ -145,10 +165,17 @@ type Config struct {
 type Engine struct {
 	ctx  stack.Context
 	cfg  Config
+	node *stack.Node // retained for view retargeting (dynamic membership)
 	rb   rbcast.Broadcaster
 	cons *consensus.Service
 
 	seq uint64 // per-sender sequence numbers for id(m)
+
+	// Dynamic membership state (Config.Members): the view log — one entry
+	// per applied configuration change, never pruned (a handful of entries
+	// per run) — and the consensus-effect lag. See membership.go.
+	views     []viewRec
+	configLag uint64
 
 	received  map[msg.ID]*msg.App // receivedp: messages received
 	delivered map[msg.ID]bool     // messages already adelivered
@@ -241,6 +268,7 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	e := &Engine{
 		ctx:       node.Context(),
 		cfg:       cfg,
+		node:      node,
 		received:  make(map[msg.ID]*msg.App),
 		delivered: make(map[msg.ID]bool),
 		inOrdered: make(map[msg.ID]bool),
@@ -255,6 +283,11 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	}
 	if cfg.Adapt != nil {
 		e.initAdapt()
+	}
+	if cfg.Members != nil {
+		if err := e.initMembership(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Diffusion layer.
@@ -277,6 +310,9 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	ccfg := consensus.Config{
 		Detector: cfg.Detector,
 		Decide:   e.onDecide,
+	}
+	if e.dynamic() {
+		ccfg.ViewAt = e.viewAt
 	}
 	if cfg.Recover != nil {
 		ccfg.Relay = true
@@ -397,8 +433,29 @@ func (e *Engine) maybePropose() {
 			e.kPropose++
 			continue
 		}
+		if e.dynamic() {
+			if k >= e.viewFrontier()+e.configLag {
+				// Instance k's member set is not locally determined yet: a
+				// configuration change still queued for delivery could take
+				// effect at or below k. Stop proposing until delivery (or
+				// recovery) advances the frontier — every instance below
+				// frontier+ConfigLag has its view pinned by the already-
+				// applied prefix, so serial operation is never gated.
+				return
+			}
+			if !e.selfInView(k) {
+				// Not a member of instance k (still a joiner, or already
+				// retired): never propose, claim, or beacon for it — its
+				// members decide it, and the decision reaches this process
+				// point-to-point if it is in the instance's view, or via
+				// relay/snapshot catch-up otherwise.
+				delete(e.needed, k)
+				e.kPropose = k + 1
+				continue
+			}
+		}
 		batch := e.selectBatch()
-		if len(batch) == 0 && !(e.pipelined() && e.needed[k]) {
+		if len(batch) == 0 && !((e.pipelined() || e.dynamic()) && e.needed[k]) {
 			return
 		}
 		delete(e.needed, k)
@@ -568,6 +625,14 @@ func (e *Engine) tryDeliver() {
 			// The delivered prefix, in order and with ordering serials, is
 			// what snapshot transfers ship; see snapshot.go.
 			e.deliveredLog = append(e.deliveredLog, rec)
+		}
+		if app.Config != nil && e.dynamic() {
+			// A configuration change is consumed at its delivery boundary:
+			// the quorum switch it defines takes effect at instance
+			// rec.k+ConfigLag, the transport-level view immediately. It is
+			// not an application delivery.
+			e.applyConfig(rec.k, app.Config)
+			continue
 		}
 		e.cfg.Deliver(app)
 	}

@@ -232,6 +232,10 @@ func (e *Engine) fetchTick() {
 	sort.Slice(missing, func(i, j int) bool { return missing[i].Less(missing[j]) })
 	q := e.nextPeer(e.fetchAttempt)
 	e.fetchAttempt++
+	if q == 0 {
+		e.armFetch() // sole survivor of a shrunken view: retry later
+		return
+	}
 	e.fetches++
 	e.sync.Send(q, 0, FetchMsg{IDs: missing})
 	e.armFetch() // stay armed until nothing is missing
@@ -239,11 +243,28 @@ func (e *Engine) fetchTick() {
 
 // nextPeer returns the attempt-th repair target: the other processes in
 // rotation, never self. Both repair paths (payload fetch, decision sync)
-// share it so a change to target selection cannot silently diverge.
+// share it so a change to target selection cannot silently diverge. Under
+// dynamic membership the rotation covers the current transport view instead
+// of the full universe — a retired process may be gone, and an un-joined one
+// has nothing to serve; note the view need not contain self (a joiner's
+// transport view is the member set it bootstraps from). Returns 0 when no
+// peer is available.
 func (e *Engine) nextPeer(attempt int) stack.ProcessID {
+	self := e.ctx.ID()
+	if e.dynamic() {
+		peers := make([]stack.ProcessID, 0, len(e.views[len(e.views)-1].members))
+		for _, q := range e.views[len(e.views)-1].members {
+			if q != self {
+				peers = append(peers, q)
+			}
+		}
+		if len(peers) == 0 {
+			return 0
+		}
+		return peers[attempt%len(peers)]
+	}
 	n := e.ctx.N()
-	self := int(e.ctx.ID())
-	return stack.ProcessID((self+attempt%(n-1))%n + 1)
+	return stack.ProcessID((int(self)+attempt%(n-1))%n + 1)
 }
 
 // needsSync reports whether this engine knows it is behind on decisions: it
@@ -282,6 +303,10 @@ func (e *Engine) syncTick() {
 	}
 	q := e.nextPeer(e.syncAttempt)
 	e.syncAttempt++
+	if q == 0 {
+		e.armSyncReq()
+		return
+	}
 	e.syncReqs++
 	e.cons.RequestSync(q, e.kNext)
 	e.armSyncReq()

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// seedSweep runs fn as one subtest per seed. Property-test families use it
+// to sweep schedules: the default count is the family's choice, `go test
+// -short` trims it to 2 seeds so quick runs stay quick, and the
+// ABCAST_SEEDS environment variable overrides both (CI can widen a sweep
+// without a code change; a single seed reproduces a failure exactly).
+func seedSweep(t *testing.T, count int, fn func(t *testing.T, seed int64)) {
+	t.Helper()
+	if testing.Short() && count > 2 {
+		count = 2
+	}
+	if env := os.Getenv("ABCAST_SEEDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			t.Fatalf("invalid ABCAST_SEEDS=%q: want a positive integer", env)
+		}
+		count = n
+	}
+	for seed := int64(1); seed <= int64(count); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fn(t, seed)
+		})
+	}
+}

@@ -94,11 +94,21 @@ type SnapEntry struct {
 	K       uint64
 	Missing bool
 	Payload []byte
+	// Cfg carries the configuration change when the entry's message was a
+	// membership change: the installer replays the view log by re-delivering
+	// these in order, so a joiner's quorum view converges with the group's.
+	Cfg *msg.ConfigChange
 }
 
 // wireSize is the entry's wire footprint (id + serial + missing flag +
-// payload).
-func (en SnapEntry) wireSize() int { return msg.IDWireBytes + 9 + len(en.Payload) }
+// payload + optional config change).
+func (en SnapEntry) wireSize() int {
+	n := msg.IDWireBytes + 9 + len(en.Payload)
+	if en.Cfg != nil {
+		n += 8
+	}
+	return n
+}
 
 // SnapChunkMsg carries one bounded slice of a snapshot transfer. All chunks
 // of one transfer share (Boundary, Start, Total); Seq orders them. More
@@ -229,6 +239,7 @@ func (e *Engine) serveSnapshot(q stack.ProcessID, from uint64) {
 		en := SnapEntry{ID: r.id, K: r.k}
 		if app := e.received[r.id]; app != nil {
 			en.Payload = app.Payload
+			en.Cfg = app.Config
 		} else {
 			en.Missing = true // our own blocked tail; the installer fetches it
 		}
@@ -339,7 +350,7 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 			continue
 		}
 		if !en.Missing && e.received[en.ID] == nil {
-			e.received[en.ID] = &msg.App{ID: en.ID, Payload: en.Payload}
+			e.received[en.ID] = &msg.App{ID: en.ID, Payload: en.Payload, Config: en.Cfg}
 			delete(e.wanted, en.ID)
 		}
 		e.unordered.Remove(en.ID)

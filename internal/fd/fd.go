@@ -109,6 +109,19 @@ type Heartbeat struct {
 	subs      subscriptions
 	stopped   bool
 	cancelHB  func()
+	// dynamic is set once SetMembers has been called: the monitored set is
+	// then exactly the cancelTO key set instead of the static 1..N, and a
+	// non-monitored process is treated as permanently suspected (a retired
+	// member must never block a quorum wait).
+	dynamic bool
+}
+
+// MemberAware is implemented by detectors that can retarget their monitored
+// peer set when the group membership changes (see Heartbeat.SetMembers). The
+// dynamic-membership engine feeds delivered configuration changes to any
+// detector implementing it.
+type MemberAware interface {
+	SetMembers(members []stack.ProcessID)
 }
 
 var _ Detector = (*Heartbeat)(nil)
@@ -156,6 +169,65 @@ func (h *Heartbeat) Stop() {
 	}
 }
 
+// SetMembers retargets the monitored peer set to the given view (the
+// dynamic-membership engine calls it at each delivered configuration
+// change). A removed peer's timer is cancelled and the peer is marked
+// suspected immediately — it has retired and must never again block a quorum
+// or coordinator wait, so instances still draining under an old view rotate
+// past it at once. A newly added peer starts trusted with a fresh
+// InitialTimeout. After the first call the detector is dynamic: heartbeats
+// from non-monitored processes are ignored and non-monitored ≠ self queries
+// report suspected.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
+func (h *Heartbeat) SetMembers(members []stack.ProcessID) {
+	h.dynamic = true
+	self := h.proto.Ctx().ID()
+	want := make(map[stack.ProcessID]bool, len(members))
+	for _, q := range members {
+		if q != self {
+			want[q] = true
+		}
+	}
+	// Drop retired peers, in process order for deterministic notification.
+	current := make([]stack.ProcessID, 0, len(h.cancelTO))
+	for q := range h.cancelTO {
+		current = append(current, q)
+	}
+	sort.Slice(current, func(i, j int) bool { return current[i] < current[j] })
+	for _, q := range current {
+		if want[q] {
+			continue
+		}
+		if cancel := h.cancelTO[q]; cancel != nil {
+			cancel()
+		}
+		delete(h.cancelTO, q)
+		delete(h.timeout, q)
+		if !h.suspected[q] {
+			h.suspected[q] = true
+			h.subs.notify(q, true)
+		}
+	}
+	// Arm new peers, in member order (the caller passes a sorted view).
+	for _, q := range members {
+		if q == self {
+			continue
+		}
+		if _, monitored := h.cancelTO[q]; monitored {
+			continue
+		}
+		h.timeout[q] = h.cfg.InitialTimeout
+		if h.suspected[q] {
+			h.suspected[q] = false
+			h.subs.notify(q, false)
+		}
+		h.armTimeout(q)
+	}
+}
+
+var _ MemberAware = (*Heartbeat)(nil)
+
 // tick emits a heartbeat to all other processes and re-arms itself.
 func (h *Heartbeat) tick() {
 	if h.stopped || h.proto.Ctx().Crashed() {
@@ -169,6 +241,11 @@ func (h *Heartbeat) tick() {
 func (h *Heartbeat) receive(q stack.ProcessID, _ uint64, m stack.Message) {
 	if _, ok := m.(HeartbeatMsg); !ok || h.stopped {
 		return
+	}
+	if h.dynamic {
+		if _, monitored := h.cancelTO[q]; !monitored {
+			return // a retired peer's in-flight heartbeat must not re-arm it
+		}
 	}
 	if h.suspected[q] {
 		// Wrong suspicion: restore trust and adapt the timeout.
@@ -197,8 +274,18 @@ func (h *Heartbeat) armTimeout(q stack.ProcessID) {
 	})
 }
 
-// Suspects implements Detector.
-func (h *Heartbeat) Suspects(q stack.ProcessID) bool { return h.suspected[q] }
+// Suspects implements Detector. Under dynamic membership a non-monitored
+// process other than self counts as suspected: consensus instances draining
+// an old view that still names a retired member must rotate past it without
+// waiting out a heartbeat timeout that will never be re-armed.
+func (h *Heartbeat) Suspects(q stack.ProcessID) bool {
+	if h.dynamic && q != h.proto.Ctx().ID() {
+		if _, monitored := h.cancelTO[q]; !monitored {
+			return true
+		}
+	}
+	return h.suspected[q]
+}
 
 // Subscribe implements Detector.
 func (h *Heartbeat) Subscribe(fn func(stack.ProcessID, bool)) func() {

@@ -1,0 +1,93 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/stack"
+)
+
+// TestSetMembersRetireImmediate: retiring a peer marks it suspected at the
+// call itself — no timeout has to lapse — and notifies subscribers, so
+// quorum waits over old views rotate past a leaver at once.
+func TestSetMembersRetireImmediate(t *testing.T) {
+	w, hbs := newHBWorld(t, 4, DefaultConfig())
+	w.RunFor(time.Second) // settle mutual trust
+	var events []stack.ProcessID
+	hbs[1].Subscribe(func(q stack.ProcessID, suspected bool) {
+		if suspected {
+			events = append(events, q)
+		}
+	})
+	w.After(1, 0, func() {
+		hbs[1].SetMembers([]stack.ProcessID{1, 2, 3})
+		if !hbs[1].Suspects(4) {
+			t.Errorf("retired peer not suspected immediately after SetMembers")
+		}
+	})
+	w.RunFor(10 * time.Millisecond)
+	if len(events) != 1 || events[0] != 4 {
+		t.Fatalf("suspicion notifications = %v, want exactly [4]", events)
+	}
+	// p4 is still alive and heartbeating; its heartbeats must be ignored —
+	// the retirement suspicion is permanent, not an adaptive timeout that
+	// fresh heartbeats would clear.
+	w.RunFor(2 * time.Second)
+	if !hbs[1].Suspects(4) {
+		t.Fatal("heartbeats from a retired peer cleared its suspicion")
+	}
+	// Members keep trusting each other throughout.
+	if hbs[1].Suspects(2) || hbs[1].Suspects(3) {
+		t.Fatal("a live member is suspected after SetMembers")
+	}
+}
+
+// TestSetMembersAddStartsTrusted: a peer added by SetMembers starts trusted
+// with a fresh timeout, and its heartbeats keep it trusted; a peer that was
+// suspected while retired is un-suspected on re-admission (with a
+// subscriber notification).
+func TestSetMembersAddStartsTrusted(t *testing.T) {
+	w, hbs := newHBWorld(t, 4, DefaultConfig())
+	w.RunFor(time.Second)
+	w.After(1, 0, func() { hbs[1].SetMembers([]stack.ProcessID{1, 2, 3}) })
+	w.RunFor(time.Second)
+	var trusts []stack.ProcessID
+	hbs[1].Subscribe(func(q stack.ProcessID, suspected bool) {
+		if !suspected {
+			trusts = append(trusts, q)
+		}
+	})
+	w.After(1, 0, func() {
+		hbs[1].SetMembers([]stack.ProcessID{1, 2, 3, 4})
+		if hbs[1].Suspects(4) {
+			t.Errorf("re-admitted peer still suspected immediately after SetMembers")
+		}
+	})
+	w.RunFor(2 * time.Second)
+	if len(trusts) != 1 || trusts[0] != 4 {
+		t.Fatalf("trust notifications = %v, want exactly [4]", trusts)
+	}
+	if hbs[1].Suspects(4) {
+		t.Fatal("live re-admitted peer suspected after its heartbeats resumed")
+	}
+}
+
+// TestDynamicNonMonitoredSuspected: once the detector is dynamic, a query
+// about a process outside the monitored set (≠ self) reports suspected —
+// such a process must never block a wait.
+func TestDynamicNonMonitoredSuspected(t *testing.T) {
+	w, hbs := newHBWorld(t, 4, DefaultConfig())
+	// Static detector: process 4 is monitored and trusted.
+	w.RunFor(500 * time.Millisecond)
+	if hbs[1].Suspects(4) {
+		t.Fatal("static detector suspects a live process")
+	}
+	w.After(1, 0, func() { hbs[1].SetMembers([]stack.ProcessID{1, 2}) })
+	w.RunFor(10 * time.Millisecond)
+	if !hbs[1].Suspects(3) || !hbs[1].Suspects(4) {
+		t.Fatal("dynamic detector trusts processes outside the monitored set")
+	}
+	if hbs[1].Suspects(1) {
+		t.Fatal("self reads suspected")
+	}
+}

@@ -46,14 +46,37 @@ func (a ID) Less(b ID) bool {
 // String implements fmt.Stringer.
 func (a ID) String() string { return fmt.Sprintf("%d:%d", a.Sender, a.Seq) }
 
+// ConfigChange is a membership reconfiguration request riding the total
+// order like any payload: at most one process joining and one leaving. Its
+// delivery point — the ordering serial the carrying message is delivered at
+// — defines where the quorum switch takes effect (see internal/core).
+type ConfigChange struct {
+	Join  stack.ProcessID // 0 = no join
+	Leave stack.ProcessID // 0 = no leave
+}
+
+// configWireBytes is the wire footprint of an embedded ConfigChange (two
+// 4-byte process ids).
+const configWireBytes = 8
+
 // App is an application message: an identifier plus an opaque payload.
+// Config, when non-nil, marks the message as a membership reconfiguration;
+// the engine consumes it at the delivery boundary instead of handing it to
+// the application.
 type App struct {
 	ID      ID
 	Payload []byte
+	Config  *ConfigChange
 }
 
 // WireSize implements stack.Message.
-func (a *App) WireSize() int { return IDWireBytes + len(a.Payload) }
+func (a *App) WireSize() int {
+	n := IDWireBytes + len(a.Payload)
+	if a.Config != nil {
+		n += configWireBytes
+	}
+	return n
+}
 
 var _ stack.Message = (*App)(nil)
 

@@ -541,8 +541,28 @@ func (l *Link) arm() {
 func (l *Link) tick() {
 	l.timerArmed = false
 	pending := false
+	// Under dynamic membership, restrict anti-entropy to the node's current
+	// group: a retired peer will never answer another probe nor fill another
+	// gap, and digesting it forever would keep the timer alive. Repair of
+	// still-draining streams is sender-driven (probe → onProbe → ack), which
+	// this gate does not touch. Nil group = static full universe, unchanged.
+	group := l.node.Group()
+	inGroup := func(q stack.ProcessID) bool {
+		if group == nil {
+			return true
+		}
+		for _, m := range group {
+			if m == q {
+				return true
+			}
+		}
+		return false
+	}
 	n := stack.ProcessID(l.ctx.N())
 	for q := stack.ProcessID(1); q <= n; q++ {
+		if !inGroup(q) {
+			continue
+		}
 		if is, ok := l.in[q]; ok && (is.ackDirty || len(is.have) > 0) {
 			l.sendAck(q, is)
 			if len(is.have) > 0 {
@@ -551,6 +571,9 @@ func (l *Link) tick() {
 		}
 	}
 	for q := stack.ProcessID(1); q <= n; q++ {
+		if !inGroup(q) {
+			continue
+		}
 		if os, ok := l.out[q]; ok && os.live > 0 && os.unanswered < l.cfg.MaxProbes {
 			os.unanswered++
 			if os.probeAt.IsZero() {

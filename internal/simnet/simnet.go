@@ -46,6 +46,10 @@ type World struct {
 	// order, for release at Heal.
 	held []heldMsg
 
+	// procDelays charges extra receive-side CPU per protocol layer (see
+	// SetProcessingDelays). Nil = no extra cost.
+	procDelays ProcessingDelays
+
 	// Debug enables per-process log output through Logf.
 	Debug bool
 	// LogSink receives debug lines when Debug is set; defaults to stdout
@@ -79,6 +83,30 @@ func NewWorld(n int, params netmodel.Params, seed int64) *World {
 		w.procs[i] = p
 	}
 	return w
+}
+
+// ProcessingDelays assigns extra receive-side CPU time per protocol layer:
+// every message of a listed stack.ProtoID costs its entry on top of the
+// netmodel receive cost before its handler runs. It models heterogeneous
+// handler costs — a consensus round that verifies signatures, a snapshot
+// chunk that deserializes state — without touching the uniform byte-count
+// model, and lets property tests skew the relative pacing of the layers
+// (slow consensus under fast diffusion, and vice versa) while the event
+// order stays deterministic under the seed.
+type ProcessingDelays map[stack.ProtoID]time.Duration
+
+// SetProcessingDelays installs per-protocol receive-side CPU delays for
+// every process of the world. The map is captured by reference; it must not
+// be mutated while the simulation runs. Call before (or between) runs —
+// messages already queued on a CPU keep the cost charged at arrival.
+func (w *World) SetProcessingDelays(d ProcessingDelays) { w.procDelays = d }
+
+// procDelay resolves the extra receive-side CPU cost of one envelope.
+func (w *World) procDelay(env stack.Envelope) time.Duration {
+	if w.procDelays == nil {
+		return 0
+	}
+	return w.procDelays[env.Proto]
 }
 
 // Engine exposes the underlying event engine (tests and the bench harness
@@ -319,7 +347,7 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 	now := w.eng.Now()
 	if to == p.id {
 		// Local delivery: CPU cost only, no network.
-		p.exec(w.params.LocalDeliveryCost, func() {
+		p.exec(w.params.LocalDeliveryCost+w.procDelay(env), func() {
 			p.node.Dispatch(p.id, env)
 		})
 		return
@@ -372,7 +400,7 @@ func (p *Proc) arrive(from stack.ProcessID, env stack.Envelope, size int) {
 		}
 		return
 	}
-	p.exec(w.params.RecvCost(size), func() {
+	p.exec(w.params.RecvCost(size)+w.procDelay(env), func() {
 		if !w.dropped[from] {
 			p.node.Dispatch(from, env)
 		}

@@ -25,6 +25,7 @@ package stack
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -133,6 +134,7 @@ type Node struct {
 	ctx      Context
 	handlers map[ProtoID]Handler
 	sender   Sender
+	group    []ProcessID // nil = every process 1..N (static membership)
 }
 
 // NewNode creates a node bound to the given runtime context.
@@ -160,6 +162,27 @@ func (n *Node) Dispatch(from ProcessID, env Envelope) {
 		h.Receive(from, env.Inst, env.Msg)
 	}
 }
+
+// SetGroup restricts the node's broadcast fan-out to the given member set
+// (sorted copy taken). The dynamic-membership engine calls it when a
+// configuration change is delivered, so every layer broadcasting through the
+// node — failure detector, diffusion, consensus — targets the live view
+// without knowing about membership. A nil group restores the static 1..N
+// fan-out. The local process need not be a member: a joiner (or a retired
+// leaver) keeps observing group traffic addressed to it point-to-point.
+func (n *Node) SetGroup(members []ProcessID) {
+	if members == nil {
+		n.group = nil
+		return
+	}
+	g := append([]ProcessID(nil), members...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	n.group = g
+}
+
+// Group returns the current broadcast member set (nil = all 1..N). The
+// returned slice is shared; callers must not mutate it.
+func (n *Node) Group() []ProcessID { return n.group }
 
 // SetSender installs an outbound interceptor: every remote send of every
 // protocol layer on this node flows through s instead of going straight to
@@ -198,12 +221,25 @@ func (p Proto) Send(q ProcessID, inst uint64, m Message) {
 	p.node.send(q, Envelope{Proto: p.id, Inst: inst, Msg: m})
 }
 
-// Broadcast transmits m to every process, including the sender. The paper's
-// pseudo-code "send to all" includes the sending process; local delivery
-// does not cross the network.
+// Broadcast transmits m to every process of the node's group (all 1..N when
+// no group is set), including the sender. The paper's pseudo-code "send to
+// all" includes the sending process; local delivery does not cross the
+// network.
 func (p Proto) Broadcast(inst uint64, m Message) {
-	n := p.node.ctx.N()
 	self := p.node.ctx.ID()
+	if g := p.node.group; g != nil {
+		for _, q := range g {
+			if q == self {
+				continue
+			}
+			p.Send(q, inst, m)
+		}
+		// Self-delivery happens even when self is outside the group: a
+		// broadcasting joiner still processes its own message locally.
+		p.Send(self, inst, m)
+		return
+	}
+	n := p.node.ctx.N()
 	for q := ProcessID(1); q <= ProcessID(n); q++ {
 		if q == self {
 			continue
@@ -215,10 +251,19 @@ func (p Proto) Broadcast(inst uint64, m Message) {
 	p.Send(self, inst, m)
 }
 
-// BroadcastOthers transmits m to every process except the sender.
+// BroadcastOthers transmits m to every process of the node's group except
+// the sender (all 1..N when no group is set).
 func (p Proto) BroadcastOthers(inst uint64, m Message) {
-	n := p.node.ctx.N()
 	self := p.node.ctx.ID()
+	if g := p.node.group; g != nil {
+		for _, q := range g {
+			if q != self {
+				p.Send(q, inst, m)
+			}
+		}
+		return
+	}
+	n := p.node.ctx.N()
 	for q := ProcessID(1); q <= ProcessID(n); q++ {
 		if q != self {
 			p.Send(q, inst, m)
