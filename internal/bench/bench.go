@@ -121,6 +121,12 @@ type Experiment struct {
 	// the cap as a floor, so saturated points read as "very slow" rather
 	// than being silently dropped.
 	MaxVirtual time.Duration
+
+	// ProcDelays charges extra receive-side CPU per protocol layer
+	// (simnet.SetProcessingDelays). Figure c1 uses it to put the stack in
+	// a CPU-saturated regime where per-message consensus cost dominates,
+	// making batching and pipeline widening distinguishable.
+	ProcDelays simnet.ProcessingDelays
 }
 
 // ChurnEvent is one scheduled membership change of an experiment.
@@ -162,6 +168,9 @@ func Run(e Experiment) (Result, error) {
 	start := time.Now()
 
 	w := simnet.NewWorld(e.N, e.Params, e.Seed)
+	if len(e.ProcDelays) != 0 {
+		w.SetProcessingDelays(e.ProcDelays)
+	}
 
 	if len(e.PartitionMinority) > 0 && e.PartitionFrom > 0 && e.PartitionUntil > e.PartitionFrom {
 		minority := make([]stack.ProcessID, len(e.PartitionMinority))

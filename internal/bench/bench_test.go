@@ -126,14 +126,16 @@ func TestFiguresComplete(t *testing.T) {
 		"g1", "g2", "g3", "g4",
 		"p2",
 		"m1",
+		"c1",
 	}
 	// Most figures compare two stacks over ≥4 x values; g3 is the recovery
 	// comparison (off / on / on-with-tiny-buffers), g4 the deep-lag one
 	// (relay-only / snapshot), each over the three pipeline widths that
 	// matter, p2 the adaptive comparison (static W=1/4/8 / adaptive) over
-	// its two topologies, and m1 the membership-churn comparison (static /
-	// join+leave) over its two topologies.
-	wantStacks := map[string]int{"g3": 3, "p2": 4}
+	// its two topologies, m1 the membership-churn comparison (static /
+	// join+leave) over its two topologies, and c1 the CPU-saturation
+	// batching comparison (MaxBatch 1 / 4 / unbounded) over four widths.
+	wantStacks := map[string]int{"g3": 3, "p2": 4, "c1": 3}
 	minPoints := map[string]int{"g3": 3, "g4": 3, "p2": 2, "m1": 2}
 	for _, id := range want {
 		spec, ok := figs[id]

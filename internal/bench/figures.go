@@ -10,6 +10,8 @@ import (
 	"abcast/internal/core"
 	"abcast/internal/netmodel"
 	"abcast/internal/rbcast"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
 )
 
 // StackSpec labels one curve of a figure.
@@ -665,6 +667,49 @@ func Figures() map[string]FigureSpec {
 				}
 			}
 			return e
+		},
+	})
+	// Extension: CPU saturation. The paper's LAN figures are network-bound;
+	// figure c1 instead charges each received consensus-protocol message
+	// 150 µs of processor time (simnet.ProcessingDelays), putting the
+	// ordering layer in a CPU-saturated regime at 3000 msg/s offered. Per
+	// Algorithm 1 the consensus message count scales with the number of
+	// instances, not the identifiers per instance — so batching (MaxBatch
+	// unbounded, many ids per instance) slashes the charged CPU and holds
+	// the offered rate, while widening the pipeline with per-instance work
+	// capped (MaxBatch=1, W up to 8) only multiplies concurrently-saturated
+	// instances and stays flat: batching beats widening when the cost is
+	// processor time rather than round trips.
+	figs = append(figs, FigureSpec{
+		ID:     "c1",
+		Title:  "EXTENSION: delivered throughput vs pipeline width W with 150 µs CPU per received consensus message, n=3, offered 3000 msg/s, 1 B, Setup 1, IndirectCT",
+		Desc:   "CPU saturation: delivered rate vs W with per-message consensus CPU cost, batching vs widening",
+		XLabel: "pipeline width [W]",
+		Metric: MetricRate,
+		Xs:     []float64{1, 2, 4, 8},
+		Stacks: []StackSpec{
+			{Label: "Indirect, MaxBatch=1", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 1},
+			{Label: "Indirect, MaxBatch=4", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4},
+			{Label: "Indirect, unbounded", Variant: core.VariantIndirectCT, RB: rbcast.KindEager},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(3000, scale)
+			return Experiment{
+				Name:       fmt.Sprintf("%s W=%.0f cpu", s.Label, x),
+				N:          3,
+				Params:     netmodel.Setup1(),
+				Variant:    s.Variant,
+				RB:         s.RB,
+				Throughput: 3000,
+				Payload:    1,
+				Messages:   measured,
+				Warmup:     warmup,
+				Seed:       seed,
+				MaxBatch:   s.MaxBatch,
+				Pipeline:   int(x),
+				MaxVirtual: 2 * time.Second,
+				ProcDelays: simnet.ProcessingDelays{stack.ProtoCons: 150 * time.Microsecond},
+			}
 		},
 	})
 	out := make(map[string]FigureSpec, len(figs))

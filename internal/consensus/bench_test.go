@@ -1,0 +1,58 @@
+package consensus
+
+// Hot-path microbenchmark: per-instance cost of indirect consensus in the
+// steady state — three correct processes, stable coordinator, one decided
+// instance per iteration, including the open/piggyback machinery the engine
+// exercises between ordering rounds.
+
+import (
+	"testing"
+	"time"
+
+	"abcast/internal/fd"
+	"abcast/internal/netmodel"
+	"abcast/internal/simnet"
+	"abcast/internal/stack"
+)
+
+// BenchmarkInstanceDecide runs b.N sequential Chandra–Toueg instances to
+// decision across a 3-process world and reports the cost per decided
+// instance (all three processes' work plus simulator scheduling).
+func BenchmarkInstanceDecide(b *testing.B) {
+	const n = 3
+	w := simnet.NewWorld(n, netmodel.Setup1(), 42)
+	svcs := make([]*Service, n+1)
+	decided := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		i := i
+		svc, err := NewService(w.Node(stack.ProcessID(i)), Config{
+			Algo:     CT,
+			Indirect: true,
+			Rcv:      func(Value) bool { return true },
+			Detector: fd.NewScripted(),
+			Decide:   func(uint64, Value) { decided[i]++ },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svcs[i] = svc
+	}
+	const gap = 2 * time.Millisecond
+	for k := 0; k < b.N; k++ {
+		k := uint64(k)
+		at := time.Duration(k) * gap
+		for p := 1; p <= n; p++ {
+			p := stack.ProcessID(p)
+			w.After(p, at, func() { svcs[p].Propose(k, tv("v")) })
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.RunFor(time.Duration(b.N)*gap + time.Second)
+	b.StopTimer()
+	for p := 1; p <= n; p++ {
+		if decided[p] != b.N {
+			b.Fatalf("p%d decided %d/%d instances", p, decided[p], b.N)
+		}
+	}
+}

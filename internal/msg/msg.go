@@ -165,6 +165,25 @@ func (s IDSet) Clone() IDSet {
 	return IDSet{ids: append([]ID(nil), s.ids...)}
 }
 
+// RawIDs returns the backing sorted slice; callers must not mutate it. The
+// wire codec iterates it to avoid the copy IDs() makes on every encode.
+func (s IDSet) RawIDs() []ID { return s.ids }
+
+// IDSetFromSorted adopts ids as a set, taking ownership of the slice. It
+// trusts the canonical order when it holds and re-normalizes otherwise —
+// the defensive path for sets decoded from untrusted wire input.
+func IDSetFromSorted(ids []ID) IDSet {
+	for i := 1; i < len(ids); i++ {
+		if !ids[i-1].Less(ids[i]) {
+			return NewIDSet(ids...)
+		}
+	}
+	if len(ids) == 0 {
+		ids = nil
+	}
+	return IDSet{ids: ids}
+}
+
 // Equal reports whether both sets hold exactly the same identifiers.
 func (s IDSet) Equal(other IDSet) bool {
 	if len(s.ids) != len(other.ids) {
@@ -198,8 +217,9 @@ func (s IDSet) Key() string {
 func (s IDSet) WireSize() int { return 4 + len(s.ids)*IDWireBytes }
 
 // GobEncode implements gob.GobEncoder: the set travels as its canonical
-// identifier slice (needed by the TCP transport, since the backing slice is
-// unexported).
+// identifier slice (the backing slice is unexported). The live transport no
+// longer uses gob — internal/wire has its own binary codec — but the codec's
+// differential test keeps a gob baseline, which needs these hooks.
 func (s IDSet) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(s.ids); err != nil {

@@ -84,7 +84,6 @@ func Listen(self stack.ProcessID, n int, addr string, opts ...Option) (*Peer, er
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
-	wire.Register()
 	p := &Peer{
 		cfg:   cfg,
 		self:  self,

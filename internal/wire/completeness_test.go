@@ -1,0 +1,160 @@
+package wire
+
+// Wire-completeness suite: a new message type added anywhere in the module
+// must fail here until it gets a codec entry. The test scans the module
+// source for stack.Message implementations — methods shaped like
+// `WireSize() int` on a named receiver — and diffs the found set against
+// registeredTypes plus a short allowlist of types that carry a WireSize
+// but are not standalone wire messages.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wireSizeAllowlist lists WireSize implementors that are deliberately NOT
+// registered codec types, with the reason. Anything new showing up in the
+// scan must land either in registeredTypes (with encode/decode arms,
+// differential/golden/fuzz coverage) or here (with a justification).
+var wireSizeAllowlist = map[string]string{
+	"abcast/internal/stack.Envelope": "the frame structure itself, not a payload tag",
+	"abcast/internal/msg.IDSet":      "embedded inside core.IDSetValue, never a standalone message",
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// scanWireSizeImpls parses every non-test .go file in the module and
+// returns the import-qualified names of types declaring `WireSize() int`.
+func scanWireSizeImpls(t *testing.T, root string) []string {
+	t.Helper()
+	found := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "docs" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkgPath := "abcast"
+		if rel != "." {
+			pkgPath = "abcast/" + filepath.ToSlash(rel)
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != "WireSize" {
+				continue
+			}
+			ft := fn.Type
+			if len(ft.Params.List) != 0 || ft.Results == nil || len(ft.Results.List) != 1 {
+				continue
+			}
+			if res, ok := ft.Results.List[0].Type.(*ast.Ident); !ok || res.Name != "int" {
+				continue
+			}
+			recv := ft0RecvType(fn.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			found[pkgPath+"."+recv] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(found))
+	for name := range found {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ft0RecvType unwraps a receiver type expression to its named type.
+func ft0RecvType(expr ast.Expr) string {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// TestWireCompleteness fails when a stack.Message implementation exists in
+// the module without a codec registration (or allowlist justification), and
+// when a registration goes stale.
+func TestWireCompleteness(t *testing.T) {
+	impls := scanWireSizeImpls(t, moduleRoot(t))
+	if len(impls) == 0 {
+		t.Fatal("source scan found no WireSize implementations — scanner broken")
+	}
+	registered := map[string]bool{}
+	for _, name := range registeredTypes {
+		registered[name] = true
+	}
+	for _, name := range impls {
+		if registered[name] || wireSizeAllowlist[name] != "" {
+			continue
+		}
+		t.Errorf("%s implements stack.Message but has no codec entry: add a tag + encode/decode arms in internal/wire/codec.go, list it in registeredTypes, and extend the golden/differential cases — or allowlist it with a reason", name)
+	}
+	implSet := map[string]bool{}
+	for _, name := range impls {
+		implSet[name] = true
+	}
+	for _, name := range registeredTypes {
+		if !implSet[name] {
+			t.Errorf("registeredTypes lists %s but no such WireSize implementation exists in the source tree", name)
+		}
+	}
+	for name := range wireSizeAllowlist {
+		if !implSet[name] {
+			t.Errorf("wireSizeAllowlist lists %s but no such WireSize implementation exists — remove the stale entry", name)
+		}
+	}
+	if want := len(registeredTypes); want != 22 {
+		t.Errorf("registeredTypes shrank to %d entries — codec coverage must only grow", want)
+	}
+}

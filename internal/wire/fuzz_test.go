@@ -1,0 +1,84 @@
+package wire
+
+// Fuzz targets for the wire codec. The decoder treats every input as
+// adversarial, so the contract under fuzzing is strict: arbitrary bytes
+// either fail with an error or decode to a value that re-encodes and
+// re-decodes to itself — never a panic, and never an output larger than
+// the input (the no-amplification guard that backs the allocation caps).
+//
+// Seed corpora live under testdata/fuzz/<Target>/ in the standard go-fuzz
+// corpus format; CI runs each target for a short -fuzztime as a smoke.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"abcast/internal/stack"
+)
+
+// FuzzDecodeEnvelope feeds arbitrary bytes to the frame decoder.
+func FuzzDecodeEnvelope(f *testing.F) {
+	for _, env := range caseEnvelopes() {
+		data, err := EncodeEnvelope(3, env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version + 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, env, err := DecodeEnvelope(data)
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		reenc, err := EncodeEnvelope(from, env)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v (%#v)", err, env)
+		}
+		// Canonical re-encoding can only shrink relative to the accepted
+		// input (redundant varints, re-normalized sets); growth would mean
+		// small frames hydrate into large values — an allocation vector.
+		if len(reenc) > len(data) {
+			t.Fatalf("re-encode amplifies input: %d -> %d bytes", len(data), len(reenc))
+		}
+		from2, env2, err := DecodeEnvelope(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if from2 != from || !reflect.DeepEqual(env2, env) {
+			t.Fatalf("round-trip not stable:\n first:  %#v\n second: %#v", env, env2)
+		}
+	})
+}
+
+// FuzzRoundTrip generates a random instance of a chosen message type and
+// requires encode/decode to be the identity — per-type roundtrip fuzzing
+// where the fuzzer steers the type and the generator seed.
+func FuzzRoundTrip(f *testing.F) {
+	for kind := 0; kind < numMessageKinds; kind++ {
+		f.Add(uint8(kind), int64(kind)*977+11, uint32(kind))
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, seed int64, from uint32) {
+		rng := rand.New(rand.NewSource(seed))
+		env := stack.Envelope{
+			Proto: stack.ProtoID(rng.Intn(10)),
+			Inst:  rng.Uint64() >> uint(rng.Intn(64)),
+			Msg:   messageOfKind(rng, int(kind)%numMessageKinds, 0),
+		}
+		sender := stack.ProcessID(from)
+		data, err := EncodeEnvelope(sender, env)
+		if err != nil {
+			t.Fatalf("encode %T: %v", env.Msg, err)
+		}
+		gotFrom, got, err := DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", env.Msg, err)
+		}
+		if gotFrom != sender || !reflect.DeepEqual(got, env) {
+			t.Fatalf("round-trip mismatch for %T:\n got:  %#v\n want: %#v", env.Msg, got, env)
+		}
+	})
+}
