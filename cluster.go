@@ -2,6 +2,7 @@ package abcast
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"abcast/internal/live"
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
+	"abcast/internal/persist"
 	"abcast/internal/rbcast"
 	"abcast/internal/stack"
 )
@@ -158,6 +160,18 @@ type Options struct {
 	// the decision log's horizon. Figure g4 (abench -fig g4) quantifies the
 	// difference.
 	Snapshot bool
+	// Persist enables crash-recovery persistence with bounded memory on
+	// every process (implying Recovery with Snapshot, the restart catch-up
+	// path): each process checkpoints its delivered-prefix digest to its own
+	// store on a timer, prunes payloads and bookkeeping below the boundary
+	// every member has durably passed — so long-running clusters hold a
+	// bounded suffix instead of the full history — and Crash becomes
+	// reversible: Restart brings the process back as a fresh incarnation
+	// that resumes from its checkpoint and catches the tail through the
+	// repair paths. Figure r1 (abench -fig r1) quantifies the restart
+	// against staying down. Nil (the default) disables persistence; Restart
+	// then returns an error.
+	Persist *PersistOptions
 	// Membership, when non-nil, enables dynamic membership: only the listed
 	// processes (a subset of 1..n) form the initial ordering group, and the
 	// group then changes at runtime through Join and Leave. A membership
@@ -178,6 +192,23 @@ type Options struct {
 	OnDeliver func(process int, d Delivery)
 }
 
+// PersistOptions configures crash-recovery persistence (Options.Persist).
+// The zero value is valid: per-process in-memory stores with the default
+// checkpoint cadence.
+type PersistOptions struct {
+	// Dir, when non-empty, keeps each process's checkpoint and write-ahead
+	// log under Dir/p<i> (persist.FileStore), surviving restarts of the
+	// hosting OS process. Empty uses per-process in-memory stores
+	// (persist.MemStore): state survives Cluster.Restart but dies with the
+	// hosting process.
+	Dir string
+	// Interval overrides the checkpoint cadence (0 = the engine default).
+	// Checkpoints are lazy — a stale one only lengthens the redelivered
+	// suffix after a restart, never changes the order — so the cadence
+	// trades restart catch-up work against checkpoint write rate.
+	Interval time.Duration
+}
+
 // Delivery is one adelivered message.
 type Delivery struct {
 	// Sender and Seq identify the message (id(m) in the paper).
@@ -196,6 +227,16 @@ type Cluster struct {
 	dets    []*fd.Heartbeat
 	queues  []*deliveryQueue
 	n       int
+
+	// Wiring inputs retained for Restart, which rebuilds a process's stack.
+	variant     core.Variant
+	rbKind      rbcast.Kind
+	hb          fd.Config
+	coreMembers []stack.ProcessID
+	// stores holds each process's checkpoint/WAL store under Options.Persist
+	// (index 0 unused, nil otherwise); Restart reopens stores[p] for the
+	// next incarnation.
+	stores []persist.Store
 
 	// members mirrors the intended group under Options.Membership: the
 	// initial set plus every Join/Leave issued through the Cluster. It picks
@@ -246,6 +287,18 @@ func New(n int, opts Options) (*Cluster, error) {
 		}
 	}
 
+	var stores []persist.Store
+	if opts.Persist != nil {
+		stores = make([]persist.Store, n+1)
+		for i := 1; i <= n; i++ {
+			s, err := openStore(opts.Persist, i)
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = s
+		}
+	}
+
 	net := live.NewNetwork(n,
 		live.WithLatency(opts.Latency),
 		live.WithJitter(opts.Jitter),
@@ -253,12 +306,17 @@ func New(n int, opts Options) (*Cluster, error) {
 		live.WithSeed(opts.Seed),
 	)
 	c := &Cluster{
-		net:     net,
-		opts:    opts,
-		engines: make([]*core.Engine, n+1),
-		dets:    make([]*fd.Heartbeat, n+1),
-		queues:  make([]*deliveryQueue, n+1),
-		n:       n,
+		net:         net,
+		opts:        opts,
+		engines:     make([]*core.Engine, n+1),
+		dets:        make([]*fd.Heartbeat, n+1),
+		queues:      make([]*deliveryQueue, n+1),
+		n:           n,
+		variant:     variant,
+		rbKind:      rbKind,
+		hb:          hb,
+		coreMembers: coreMembers,
+		stores:      stores,
 	}
 	if opts.Membership != nil {
 		c.members = append([]int(nil), opts.Membership...)
@@ -274,42 +332,9 @@ func New(n int, opts Options) (*Cluster, error) {
 		// protocol event can precede complete wiring.
 		net.Do(stack.ProcessID(i), func() {
 			defer wg.Done()
-			node := net.Node(stack.ProcessID(i))
-			c.dets[i] = fd.NewHeartbeat(node, hb)
-			var rcfg *core.RecoverConfig
-			if opts.Recovery || opts.Snapshot {
-				rcfg = &core.RecoverConfig{Snapshot: opts.Snapshot}
-			}
-			var acfg *adapt.Config
-			if opts.Adaptive {
-				acfg = &adapt.Config{}
-			}
-			eng, err := core.New(node, core.Config{
-				Variant:  variant,
-				RB:       rbKind,
-				Detector: c.dets[i],
-				Pipeline: opts.Pipeline,
-				MaxBatch: opts.MaxBatch,
-				Adapt:    acfg,
-				Recover:  rcfg,
-				Members:  coreMembers,
-				Deliver: func(app *msg.App) {
-					d := Delivery{
-						Sender:  int(app.ID.Sender),
-						Seq:     app.ID.Seq,
-						Payload: app.Payload,
-					}
-					c.queues[i].put(d)
-					if c.opts.OnDeliver != nil {
-						c.opts.OnDeliver(i, d)
-					}
-				},
-			})
-			if err != nil {
+			if err := c.wire(i, net.Node(stack.ProcessID(i))); err != nil {
 				errs <- err
-				return
 			}
-			c.engines[i] = eng
 		})
 	}
 	wg.Wait()
@@ -320,6 +345,81 @@ func New(n int, opts Options) (*Cluster, error) {
 	default:
 	}
 	return c, nil
+}
+
+// sameSitePeers returns p's co-located peers under the topology (nil for a
+// uniform network or a process alone at its site) — the Cluster's choice of
+// core.RecoverConfig.PreferPeers.
+func sameSitePeers(t *netmodel.Topology, p stack.ProcessID, n int) []stack.ProcessID {
+	if t == nil {
+		return nil
+	}
+	var out []stack.ProcessID
+	for _, q := range t.SiteProcs(t.Site(p), n) {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// openStore opens process p's checkpoint/WAL store per the options.
+func openStore(po *PersistOptions, p int) (persist.Store, error) {
+	if po.Dir != "" {
+		return persist.OpenFileStore(filepath.Join(po.Dir, fmt.Sprintf("p%d", p)))
+	}
+	return persist.NewMemStore(), nil
+}
+
+// wire builds one incarnation of process i's protocol stack on node: the
+// failure detector plus the engine, rehydrating from the process's store
+// when persistence is on. Runs on i's event loop — at startup via New's
+// wiring closures, and again from Restart.
+func (c *Cluster) wire(i int, node *stack.Node) error {
+	c.dets[i] = fd.NewHeartbeat(node, c.hb)
+	var rcfg *core.RecoverConfig
+	if c.opts.Recovery || c.opts.Snapshot || c.opts.Persist != nil {
+		rcfg = &core.RecoverConfig{Snapshot: c.opts.Snapshot}
+		// Prefer same-site peers for the rotating repair paths, keeping
+		// fetch/sync traffic off the expensive inter-site links whenever a
+		// local peer can serve it.
+		rcfg.PreferPeers = sameSitePeers(c.opts.Topology, stack.ProcessID(i), c.n)
+	}
+	var pcfg *core.PersistConfig
+	if c.opts.Persist != nil {
+		pcfg = &core.PersistConfig{Store: c.stores[i], Interval: c.opts.Persist.Interval}
+	}
+	var acfg *adapt.Config
+	if c.opts.Adaptive {
+		acfg = &adapt.Config{}
+	}
+	eng, err := core.New(node, core.Config{
+		Variant:  c.variant,
+		RB:       c.rbKind,
+		Detector: c.dets[i],
+		Pipeline: c.opts.Pipeline,
+		MaxBatch: c.opts.MaxBatch,
+		Adapt:    acfg,
+		Recover:  rcfg,
+		Persist:  pcfg,
+		Members:  c.coreMembers,
+		Deliver: func(app *msg.App) {
+			d := Delivery{
+				Sender:  int(app.ID.Sender),
+				Seq:     app.ID.Seq,
+				Payload: app.Payload,
+			}
+			c.queues[i].put(d)
+			if c.opts.OnDeliver != nil {
+				c.opts.OnDeliver(i, d)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	c.engines[i] = eng
+	return nil
 }
 
 // N returns the number of processes.
@@ -490,11 +590,59 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 }
 
 // Crash stops process p (it handles no further events; in-flight messages
-// from it are lost). Irreversible.
+// from it are lost). Irreversible on a cluster without persistence; with
+// Options.Persist set, Restart revives the process.
 func (c *Cluster) Crash(p int) {
 	if p >= 1 && p <= c.n {
 		c.net.Crash(stack.ProcessID(p))
 	}
+}
+
+// Restart revives a crashed process as a fresh incarnation that resumes
+// from its persistent store: the checkpointed delivered prefix is
+// rehydrated, the write-ahead counters guarantee the incarnation's new
+// broadcasts cannot alias pre-crash identifiers, and the gap between the
+// checkpoint and the group's current position is caught up through the
+// repair paths (retransmission, decide-relay, payload fetch, snapshot
+// transfer for deep gaps). Requires Options.Persist and a crashed process.
+//
+// Deliveries on p are at-least-once across the restart: the suffix above
+// p's last checkpoint is redelivered — in unchanged order — so a consumer
+// tracking the last applied (Sender, Seq) per sender deduplicates
+// trivially (see examples/restartable-kv). Restart returns once the new
+// incarnation is wired; catch-up proceeds in the background — watch Stats.
+func (c *Cluster) Restart(p int) error {
+	if c.opts.Persist == nil {
+		return fmt.Errorf("abcast: persistence not enabled (Options.Persist)")
+	}
+	if p < 1 || p > c.n {
+		return fmt.Errorf("abcast: process %d out of range 1..%d", p, c.n)
+	}
+	if !c.net.Proc(stack.ProcessID(p)).Crashed() {
+		return fmt.Errorf("abcast: process %d has not crashed", p)
+	}
+	store, err := c.reopenStore(p)
+	if err != nil {
+		return err
+	}
+	c.stores[p] = store
+	node := c.net.Restart(stack.ProcessID(p))
+	errs := make(chan error, 1)
+	c.net.Do(stack.ProcessID(p), func() { errs <- c.wire(p, node) })
+	return <-errs
+}
+
+// reopenStore hands process p's store to its next incarnation: the same
+// MemStore for in-memory persistence, a fresh FileStore handle on the same
+// directory otherwise (the crashed incarnation's handle is dead — its event
+// loop no longer runs — so the single-owner contract moves with the open).
+func (c *Cluster) reopenStore(p int) (persist.Store, error) {
+	if c.opts.Persist.Dir != "" {
+		return openStore(c.opts.Persist, p)
+	}
+	ms := c.stores[p].(*persist.MemStore)
+	ms.Reopen()
+	return ms, nil
 }
 
 // Close shuts the cluster down and waits for all process goroutines.
@@ -502,6 +650,13 @@ func (c *Cluster) Close() {
 	c.net.Close()
 	for _, q := range c.queues[1:] {
 		q.close()
+	}
+	if c.stores != nil {
+		// Safe once the event loops have exited: the stores' single owners
+		// (the engines) can no longer touch them.
+		for _, s := range c.stores[1:] {
+			s.Close()
+		}
 	}
 }
 

@@ -402,6 +402,165 @@ func TestClusterWANTopology(t *testing.T) {
 	}
 }
 
+// collectDistinct drains deliveries from p until count messages not yet in
+// seen have arrived, deduplicating by (Sender, Seq) — the consumer contract
+// across a restart is at-least-once, and the caller keeps seen across calls
+// because a restarted process redelivers the suffix above its checkpoint.
+// Returns the new messages in first-delivery order.
+func collectDistinct(t *testing.T, c *Cluster, p, count int, seen map[[2]uint64]bool) []Delivery {
+	t.Helper()
+	out := make([]Delivery, 0, count)
+	deadline := time.Now().Add(60 * time.Second)
+	for len(out) < count {
+		d, ok := c.Next(p, time.Until(deadline))
+		if !ok {
+			t.Fatalf("p%d: timed out after %d/%d distinct deliveries", p, len(out), count)
+		}
+		k := [2]uint64{uint64(d.Sender), d.Seq}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// testClusterRestart drives the public crash-recovery surface end to end:
+// traffic before the crash, traffic while p3 is down, a restart that
+// rehydrates from the store, and — the aliasing check — a post-restart
+// broadcast from the restarted process that must carry a fresh sequence
+// number and deliver everywhere. Every process's deduplicated delivery
+// sequence must be the same total order.
+func testClusterRestart(t *testing.T, po *PersistOptions) {
+	c, err := New(3, Options{Stack: IndirectCT, Persist: po, Latency: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Restart(1); err == nil {
+		t.Fatal("Restart of a running process succeeded")
+	}
+
+	// Phase 1: three broadcasts from every process, including the future
+	// crash victim (so its WAL records sequence numbers 1..3).
+	for i := 0; i < 3; i++ {
+		for p := 1; p <= 3; p++ {
+			if err := c.Broadcast(p, []byte(fmt.Sprintf("a%d-%d", p, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seqs := make([][]Delivery, 4)
+	seen := make([]map[[2]uint64]bool, 4)
+	for p := 1; p <= 3; p++ {
+		seen[p] = map[[2]uint64]bool{}
+		seqs[p] = collectDistinct(t, c, p, 9, seen[p])
+	}
+	// Let a checkpoint land so the restart exercises rehydration, not just
+	// a from-scratch catch-up.
+	time.Sleep(6 * po.Interval)
+
+	c.Crash(3)
+	// Phase 2: the survivors keep ordering while p3 is down.
+	for i := 0; i < 2; i++ {
+		for _, p := range []int{1, 2} {
+			if err := c.Broadcast(p, []byte(fmt.Sprintf("b%d-%d", p, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, p := range []int{1, 2} {
+		seqs[p] = append(seqs[p], collectDistinct(t, c, p, 4, seen[p])...)
+	}
+
+	if err := c.Restart(3); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	// Phase 3: the restarted incarnation broadcasts; its sequence number
+	// must not alias any pre-crash identifier (the WAL's job).
+	if err := c.Broadcast(3, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2} {
+		seqs[p] = append(seqs[p], collectDistinct(t, c, p, 1, seen[p])...)
+	}
+	// The restarted process consumed phase 1 before the crash; what remains
+	// is the tail it missed (phase 2) plus the fresh broadcast — suffix
+	// redeliveries below its checkpoint boundary dedupe away via seen.
+	// Appended to its pre-crash prefix, its sequence is the same 14-message
+	// total order as everyone else's.
+	seqs[3] = append(seqs[3], collectDistinct(t, c, 3, 5, seen[3])...)
+	for p := 2; p <= 3; p++ {
+		for i := range seqs[1] {
+			a, b := seqs[1][i], seqs[p][i]
+			if a.Sender != b.Sender || a.Seq != b.Seq {
+				t.Fatalf("order diverges at %d: p1=%d:%d p%d=%d:%d",
+					i, a.Sender, a.Seq, p, b.Sender, b.Seq)
+			}
+		}
+	}
+	last := seqs[1][len(seqs[1])-1]
+	if last.Sender != 3 || last.Seq != 4 || string(last.Payload) != "fresh" {
+		t.Fatalf("post-restart broadcast = %d:%d %q, want 3:4 \"fresh\" (sequence aliased?)",
+			last.Sender, last.Seq, last.Payload)
+	}
+}
+
+func TestClusterRestartMem(t *testing.T) {
+	testClusterRestart(t, &PersistOptions{Interval: 50 * time.Millisecond})
+}
+
+func TestClusterRestartFile(t *testing.T) {
+	testClusterRestart(t, &PersistOptions{Dir: t.TempDir(), Interval: 50 * time.Millisecond})
+}
+
+// TestClusterRestartValidation: Restart requires Options.Persist, an
+// in-range process, and a crashed target.
+func TestClusterRestartValidation(t *testing.T) {
+	c, err := New(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Crash(2)
+	if err := c.Restart(2); err == nil {
+		t.Error("Restart accepted without Options.Persist")
+	}
+	d, err := New(2, Options{Persist: &PersistOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Restart(9); err == nil {
+		t.Error("Restart accepted an out-of-range process")
+	}
+	if err := d.Restart(1); err == nil {
+		t.Error("Restart accepted a running process")
+	}
+}
+
+// TestSameSitePeers pins the Cluster's PreferPeers auto-wiring: on a
+// Topology setup each process prefers its co-located peers for repair
+// traffic; a uniform network (or a process alone at its site) wires none.
+func TestSameSitePeers(t *testing.T) {
+	if got := sameSitePeers(nil, 1, 4); got != nil {
+		t.Fatalf("uniform network wired PreferPeers %v", got)
+	}
+	topo := netmodel.WAN3Sites().Topology // round-robin sites
+	// n=6: site 0 = {1,4}, site 1 = {2,5}, site 2 = {3,6}.
+	if got := fmt.Sprint(sameSitePeers(topo, 1, 6)); got != "[4]" {
+		t.Fatalf("sameSitePeers(p1, n=6) = %v, want [4]", got)
+	}
+	if got := fmt.Sprint(sameSitePeers(topo, 5, 6)); got != "[2]" {
+		t.Fatalf("sameSitePeers(p5, n=6) = %v, want [2]", got)
+	}
+	// n=3: every process is alone at its site — no preference.
+	if got := sameSitePeers(topo, 2, 3); got != nil {
+		t.Fatalf("sameSitePeers(p2, n=3) = %v, want none", got)
+	}
+}
+
 // waitMembers polls Stats(p) until its applied member set equals want.
 func waitMembers(t *testing.T, c *Cluster, p int, want []int) {
 	t.Helper()

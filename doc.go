@@ -154,6 +154,10 @@
 //	Membership  (nil=static)  dynamic ordering group: Join/Leave changes
 //	                          ride the total order; pair with Recovery
 //	                          (and Snapshot for arbitrarily old joiners)
+//	Persist     (nil=off)     checkpoint/WAL store per process (implies
+//	                          Recovery+Snapshot): bounded memory via
+//	                          delivered-prefix pruning, Crash becomes
+//	                          reversible through Restart
 //
 // # Dynamic membership
 //
@@ -206,6 +210,61 @@
 // (`abench -fig m1`) measures delivered throughput across a join+leave
 // episode against a static group, on the metro and WAN profiles.
 //
+// # Crash recovery: persistence and bounded memory
+//
+// The paper's model is crash-stop: a crashed process is gone, and every
+// process keeps its full delivered history in memory. Options.Persist
+// (engine side: core.Config.Persist, stores in internal/persist) upgrades
+// both at once, because they are the same mechanism. Each process
+// checkpoints a digest of its delivered prefix — per-sender contiguous
+// floors plus a sparse residue, the applied view log, and the consensus
+// frontier — to a pluggable store (in-memory, or a directory via
+// PersistOptions.Dir), lazily on a timer: a stale checkpoint only lengthens
+// the redelivered suffix after a restart, never changes the order. Two
+// counters are the exception and go through a write-ahead log before use —
+// the process's own broadcast sequence number and the relink stream
+// reservation — because reusing either after a restart would let a new
+// message alias an old identifier and be deduplicated away, a Validity
+// violation.
+//
+// Durable frontiers are gossiped, and once every current member's durable
+// frontier has passed a consensus instance, everything below it is pruned
+// from memory: payload buffers, delivered-set bookkeeping, the delivered
+// log's prefix (snapshot state transfer then ships the retained suffix,
+// which the checkpoint boundary invariant keeps sufficient for any peer
+// that can still need one). A long-running cluster thus holds a bounded
+// working set instead of its full history — the soak property test in
+// internal/core/persist_test.go pins memory flat over hours of simulated
+// churn. Cluster.Restart (simulator: bench Experiment.RestartProc) revives
+// a crashed process from its store: rehydrate the checkpoint, replay the
+// WAL, rejoin, and catch the tail through the recovery paths.
+//
+// The crash-recovery guarantee matrix, pinned by the restart property tests
+// in internal/core/persist_test.go and cluster_test.go:
+//
+//	event                    guarantee
+//	crash, persist off       crash-stop (the paper's model): survivors keep
+//	                         ordering while a majority remains; the crashed
+//	                         process never returns
+//	crash + restart          the incarnation resumes at its checkpoint and
+//	                         redelivers from there: at-least-once delivery
+//	                         across the crash, order unchanged (its
+//	                         deduplicated sequence is a prefix-suffix match
+//	                         of every correct process's order)
+//	restart + new broadcast  WAL'd counters: no new message ever aliases a
+//	                         pre-crash identifier, so post-restart
+//	                         broadcasts deliver everywhere exactly once
+//	crash + churn/partition  composes: checkpoint boundaries respect the
+//	                         applied view, so pruning never outruns a
+//	                         member that could still need the state
+//
+// Delivery to the application is at-least-once across a restart — the
+// suffix above the last checkpoint is redelivered in unchanged order — so a
+// consumer keeps one high-water mark per sender and skips anything at or
+// below it (examples/restartable-kv shows the pattern). Figure r1
+// (`abench -fig r1`) measures restart-from-checkpoint against staying down
+// as a function of downtime.
+//
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,
 // reliable/uniform broadcast, heartbeat failure detection, the Algorithm 1
@@ -219,8 +278,8 @@
 // The internal packages split into two worlds, and the split is enforced
 // statically by the abcheck analyzers (internal/analysis, cmd/abcheck).
 // Simulation-path packages — sim, simnet, core, consensus, relink, rbcast,
-// fd, adapt, msg, stack, bench, plus the pure models netmodel, wire,
-// indirect — run under the virtual clock: they may only read time through
+// fd, adapt, msg, stack, bench, persist, plus the pure models netmodel,
+// wire, indirect — run under the virtual clock: they may only read time through
 // the runtime context (stack.Context.Now, SetTimer) and draw randomness
 // from the per-process seeded source, which is what makes seeded runs
 // bit-for-bit reproducible. Wall-clock packages — this root package

@@ -26,6 +26,7 @@ var mapOrderCritical = map[string]bool{
 	"abcast/internal/msg":       true,
 	"abcast/internal/stack":     true,
 	"abcast/internal/bench":     true,
+	"abcast/internal/persist":   true,
 }
 
 // simPath lists the packages that run (also) under the virtual clock: all

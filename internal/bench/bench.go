@@ -20,6 +20,7 @@ import (
 	"abcast/internal/fd"
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
+	"abcast/internal/persist"
 	"abcast/internal/rbcast"
 	"abcast/internal/relink"
 	"abcast/internal/sim"
@@ -103,6 +104,27 @@ type Experiment struct {
 	// replay it cannot use. Figure g4 compares relay-only against it.
 	Snapshot bool
 
+	// Persist enables crash-recovery persistence on every process: a
+	// per-process in-memory checkpoint/WAL store (core.Config.Persist),
+	// which also implies the recovery subsystem with snapshot transfer.
+	// CheckpointInterval overrides the checkpoint cadence (0 = core
+	// default).
+	Persist            bool
+	CheckpointInterval time.Duration
+
+	// RestartProc, when non-zero, injects a crash-restart episode: the
+	// process crashes at RestartCrashAt (in-flight traffic dropped) and — if
+	// RestartAt is non-zero — a fresh incarnation on the same store rejoins
+	// at RestartAt, catching the tail through the repair paths. RestartAt of
+	// zero leaves the process down for the rest of the run (the no-recovery
+	// baseline of figure r1). Restarting requires Persist; the restarted
+	// process is excluded from the senders (its pending workload timers
+	// would die with the crash) but still measured, so full delivery — and
+	// the Rate metric — waits for its catch-up.
+	RestartProc    int
+	RestartCrashAt time.Duration
+	RestartAt      time.Duration
+
 	// Members, when non-nil, enables dynamic membership: only the listed
 	// processes (a subset of 1..N) form the initial ordering group. The
 	// workload then comes from the stable members only (initial members that
@@ -161,6 +183,9 @@ func Run(e Experiment) (Result, error) {
 	if err := e.validMembership(); err != nil {
 		return Result{}, err
 	}
+	if err := e.validRestart(); err != nil {
+		return Result{}, err
+	}
 	if e.MaxVirtual <= 0 {
 		e.MaxVirtual = 30 * time.Second
 	}
@@ -194,10 +219,17 @@ func Run(e Experiment) (Result, error) {
 	deliveredAt := make([]map[msg.ID]time.Duration, e.N+1)
 
 	engines := make([]*core.Engine, e.N+1)
-	for i := 1; i <= e.N; i++ {
-		i := i
-		deliveredAt[i] = make(map[msg.ID]time.Duration, total)
-		node := w.Node(stack.ProcessID(i))
+	var stores []*persist.MemStore
+	if e.Persist {
+		stores = make([]*persist.MemStore, e.N+1)
+		for i := 1; i <= e.N; i++ {
+			stores[i] = persist.NewMemStore()
+		}
+	}
+	// startProc builds one incarnation of process i on the given node — called
+	// once per process at setup, and again from a restart episode, where the
+	// fresh incarnation rehydrates from stores[i].
+	startProc := func(i int, node *stack.Node) error {
 		det := fd.NewHeartbeat(node, fd.DefaultConfig())
 		var rcfg *core.RecoverConfig
 		if e.Recovery || e.Snapshot {
@@ -206,6 +238,10 @@ func Run(e Experiment) (Result, error) {
 				DecisionLogCap: e.DecisionLogCap,
 				Snapshot:       e.Snapshot,
 			}
+		}
+		var pcfg *core.PersistConfig
+		if e.Persist {
+			pcfg = &core.PersistConfig{Store: stores[i], Interval: e.CheckpointInterval}
 		}
 		var acfg *adapt.Config
 		if e.Adaptive {
@@ -227,15 +263,44 @@ func Run(e Experiment) (Result, error) {
 			Pipeline:     e.Pipeline,
 			Adapt:        acfg,
 			Recover:      rcfg,
+			Persist:      pcfg,
 			Members:      members,
 			Deliver: func(app *msg.App) {
-				deliveredAt[i][app.ID] = virt(w)
+				// First delivery only: across a restart the suffix above the
+				// checkpoint redelivers (at-least-once), and latency measures
+				// the original delivery instant.
+				if _, ok := deliveredAt[i][app.ID]; !ok {
+					deliveredAt[i][app.ID] = virt(w)
+				}
 			},
 		})
 		if err != nil {
-			return Result{}, fmt.Errorf("bench: %w", err)
+			return fmt.Errorf("bench: %w", err)
 		}
 		engines[i] = eng
+		return nil
+	}
+	for i := 1; i <= e.N; i++ {
+		deliveredAt[i] = make(map[msg.ID]time.Duration, total)
+		if err := startProc(i, w.Node(stack.ProcessID(i))); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Crash-restart episode: crash drops in-flight traffic; the restart (if
+	// scheduled) rebuilds the stack on the fresh node, rehydrating from the
+	// same store.
+	var restartErr error
+	if e.RestartProc != 0 {
+		rp := stack.ProcessID(e.RestartProc)
+		w.Engine().At(sim.Time(e.RestartCrashAt), func() { w.Crash(rp, simnet.DropInFlight) })
+		if e.RestartAt > 0 {
+			w.Engine().At(sim.Time(e.RestartAt), func() {
+				if err := startProc(e.RestartProc, w.Restart(rp)); err != nil && restartErr == nil {
+					restartErr = err
+				}
+			})
+		}
 	}
 
 	// Membership churn: each event's sponsor broadcasts the change at its
@@ -281,6 +346,9 @@ func Run(e Experiment) (Result, error) {
 		if len(sentAt) == e.Messages && allDelivered(sentAt, deliveredAt, procs) {
 			break
 		}
+	}
+	if restartErr != nil {
+		return Result{}, restartErr
 	}
 
 	// Latency per message: average over all processes of
@@ -386,16 +454,47 @@ func (e *Experiment) validMembership() error {
 	return nil
 }
 
+// validRestart checks the experiment's crash-restart episode.
+func (e *Experiment) validRestart() error {
+	if e.RestartProc == 0 {
+		if e.RestartCrashAt != 0 || e.RestartAt != 0 {
+			return fmt.Errorf("bench: restart schedule without RestartProc")
+		}
+		return nil
+	}
+	if e.RestartProc < 1 || e.RestartProc > e.N {
+		return fmt.Errorf("bench: RestartProc %d out of range 1..%d", e.RestartProc, e.N)
+	}
+	if e.RestartCrashAt <= 0 {
+		return fmt.Errorf("bench: RestartProc requires RestartCrashAt > 0")
+	}
+	if e.RestartAt != 0 {
+		if e.RestartAt <= e.RestartCrashAt {
+			return fmt.Errorf("bench: RestartAt must follow RestartCrashAt")
+		}
+		if !e.Persist {
+			return fmt.Errorf("bench: restarting requires Persist (the checkpoint to rejoin from)")
+		}
+	}
+	if e.Members != nil {
+		return fmt.Errorf("bench: restart episodes and dynamic membership cannot be combined")
+	}
+	return nil
+}
+
 // senderProcs returns the workload's senders: every process for a static
 // run, the stable members (initial members no churn event removes) under
 // dynamic membership — a joiner cannot send before its join applies and a
 // leaver's late sends could never complete, so neither belongs in a
-// full-delivery workload.
+// full-delivery workload. A crash-restart episode's subject is likewise
+// excluded: its pending workload timers would die with the crash.
 func (e *Experiment) senderProcs() []stack.ProcessID {
 	if e.Members == nil {
-		out := make([]stack.ProcessID, e.N)
-		for i := range out {
-			out[i] = stack.ProcessID(i + 1)
+		out := make([]stack.ProcessID, 0, e.N)
+		for i := 1; i <= e.N; i++ {
+			if i != e.RestartProc {
+				out = append(out, stack.ProcessID(i))
+			}
 		}
 		return out
 	}

@@ -45,6 +45,12 @@ type StackSpec struct {
 	// schedule; the figure's Build decides the actual events. Figure m1
 	// compares a static member set against one join plus one leave.
 	Churn bool
+	// Persist enables crash-recovery persistence for this curve, and
+	// Restart marks the curve whose crashed process comes back from its
+	// checkpoint; the figure's Build decides the schedule. Figure r1
+	// compares restart-from-checkpoint against staying down.
+	Persist bool
+	Restart bool
 }
 
 // Metric selects what a figure's cells report.
@@ -710,6 +716,56 @@ func Figures() map[string]FigureSpec {
 				MaxVirtual: 2 * time.Second,
 				ProcDelays: simnet.ProcessingDelays{stack.ProtoCons: 150 * time.Microsecond},
 			}
+		},
+	})
+	// Extension: crash-recovery. Figure r1 crashes process 3 at 800 ms with
+	// in-flight traffic dropped and — on the restart curve — brings a fresh
+	// incarnation back on the same checkpoint store after x ms of downtime.
+	// The restarted process is excluded from the senders but still measured:
+	// the Rate metric counts messages delivered *everywhere* per virtual
+	// second, so each point folds in how long the restarted incarnation
+	// takes to rehydrate from its checkpoint and catch the tail through
+	// relay/fetch/snapshot — longer downtime, bigger tail, lower rate. The
+	// baseline curve never restarts: the two live processes (a CT majority)
+	// keep ordering, but full delivery never happens, so those points run to
+	// the horizon and read as saturated — the cost of having no recovery at
+	// all, same role as g3's no-recovery curve.
+	figs = append(figs, FigureSpec{
+		ID:     "r1",
+		Title:  "EXTENSION: delivered throughput vs crash downtime: restart from checkpoint vs staying down, n=3, p3 crashes at 800 ms (in-flight dropped), offered 60 msg/s, 100 B, Setup 1, IndirectCT, MaxBatch=4, persistence on",
+		Desc:   "crash-recovery: delivered rate vs downtime, restart-from-checkpoint vs no restart",
+		XLabel: "downtime [ms]",
+		Metric: MetricRate,
+		Xs:     []float64{200, 500, 1000, 2000},
+		Stacks: []StackSpec{
+			{Label: "Restart from checkpoint", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Persist: true, Restart: true},
+			{Label: "No restart", Variant: core.VariantIndirectCT, RB: rbcast.KindEager, MaxBatch: 4, Persist: true},
+		},
+		Build: func(s StackSpec, x, scale float64, seed int64) Experiment {
+			measured, warmup := defaultMessages(60, scale)
+			e := Experiment{
+				Name:           fmt.Sprintf("%s downtime=%.0fms", s.Label, x),
+				N:              3,
+				Params:         netmodel.Setup1(),
+				Variant:        s.Variant,
+				RB:             s.RB,
+				Throughput:     60,
+				Payload:        100,
+				Messages:       measured,
+				Warmup:         warmup,
+				Seed:           seed,
+				MaxBatch:       s.MaxBatch,
+				Persist:        s.Persist,
+				RestartProc:    3,
+				RestartCrashAt: 800 * time.Millisecond,
+				// The no-restart curve never reaches full delivery, so it
+				// always runs to the horizon; keep it short.
+				MaxVirtual: 20 * time.Second,
+			}
+			if s.Restart {
+				e.RestartAt = e.RestartCrashAt + time.Duration(x)*time.Millisecond
+			}
+			return e
 		},
 	})
 	out := make(map[string]FigureSpec, len(figs))

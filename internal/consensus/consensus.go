@@ -739,6 +739,26 @@ func (s *Service) DeepLagCount() int { return s.deepLags }
 // serial is below the floor cannot be caught up by the relay alone.
 func (s *Service) LogFloor() uint64 { return s.decLow }
 
+// RaiseFloor evicts every logged decision with serial number < k and raises
+// the relay floor to at least k. The engine calls it when the delivered
+// prefix below k is pruned from memory (bounded-memory checkpointing): a
+// decision replay below the prune boundary would name payloads no process
+// retains, so lagging peers are instead routed through Config.OnDeepLag to
+// the snapshot path, which starts from the peer's own delivered position.
+//
+//abcheck:entry cross-package API; the engine calls it from its own event-loop callbacks
+func (s *Service) RaiseFloor(k uint64) {
+	if s.decisions == nil || k <= s.decLow {
+		return
+	}
+	for j := range s.decisions {
+		if j < k {
+			delete(s.decisions, j)
+		}
+	}
+	s.decLow = k
+}
+
 // RequestSync asks q to relay the decisions of instances ≥ from that it
 // still has logged. Used by the engine above when it detects a hole in its
 // decision sequence that no implicit path is filling (see SyncReqMsg).

@@ -59,6 +59,12 @@ type Observation struct {
 	// estimate from the relink layer (0 when recovery is off or no
 	// exchange has completed).
 	LinkRTTMax time.Duration
+	// Received and DeliveredLog are the sizes of the engine's payload map
+	// and retained delivered-log suffix. Under Config.Persist both are
+	// bounded by checkpoint pruning — the memory-flatness signal the soak
+	// tests assert on; without it they grow with history.
+	Received     int
+	DeliveredLog int
 }
 
 // Observe snapshots the engine's control-plane signals.
@@ -69,12 +75,14 @@ func (e *Engine) Observe() Observation {
 	}
 	o := Observation{
 		Backlog:         backlog,
-		Delivered:       len(e.delivered),
+		Delivered:       e.deliveredN,
 		InFlight:        len(e.inFlight),
 		Window:          e.window,
 		MaxBatch:        e.maxBatch,
 		DecisionLatency: time.Duration(e.decLat.Value()),
 		ConsensusOpen:   e.cons.Undecided(),
+		Received:        len(e.received),
+		DeliveredLog:    len(e.deliveredLog),
 	}
 	if e.link != nil {
 		o.LinkRTTMax = e.link.MaxRTT()

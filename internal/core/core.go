@@ -37,6 +37,7 @@ import (
 	"abcast/internal/consensus"
 	"abcast/internal/fd"
 	"abcast/internal/msg"
+	"abcast/internal/persist"
 	"abcast/internal/rbcast"
 	"abcast/internal/relink"
 	"abcast/internal/stack"
@@ -129,6 +130,15 @@ type Config struct {
 	// delivery in total order even across drop-mode (black-hole) network
 	// partitions. See RecoverConfig.
 	Recover *RecoverConfig
+	// Persist, when non-nil, enables crash-recovery persistence with bounded
+	// memory: the engine checkpoints its delivered-prefix digest to the
+	// configured store, prunes payloads and bookkeeping below the boundary
+	// every member has durably passed, and a process restarted with the same
+	// store resumes from its checkpoint and catches the tail through the
+	// recovery paths. Setting it implies Recover with Snapshot enabled (the
+	// restart catch-up path); an explicit Recover still tunes the rest. See
+	// persist.go and internal/persist.
+	Persist *PersistConfig
 	// Members, when non-nil, enables dynamic membership: the sorted initial
 	// member set (a subset of the universe 1..N; this process need not be in
 	// it). Membership then changes only through configuration messages
@@ -233,6 +243,26 @@ type Engine struct {
 	snapChunks   map[int][]SnapEntry
 	snapsServed  int
 	snapsDone    int
+
+	// Crash-recovery persistence state (Config.Persist): the checkpoint/WAL
+	// store, the compressed delivered digest (per-sender floors; the
+	// delivered map then holds only the residue above them), the durable
+	// frontiers peers have announced, and the prune bookkeeping. deliveredN
+	// is maintained unconditionally — it equals len(delivered) exactly until
+	// persistence starts compressing the set. See persist.go.
+	pstore        persist.Store
+	ckptEvery     time.Duration
+	deliveredN    int                        // total adelivered count
+	logBase       uint64                     // deliveredLog entries pruned below deliveredLog[0]
+	delFloor      map[stack.ProcessID]uint64 // per-sender contiguous delivered floors
+	peerFrontier  map[stack.ProcessID]uint64 // durable frontiers announced per process
+	lastCkptF     uint64                     // frontier of the last saved checkpoint
+	linkReserve   uint64                     // WAL'd relink sequence reservation
+	prunedTo      uint64                     // boundary of the last prune round
+	restartProbes int                        // post-restart sync probes still owed
+	ckpts         int
+	prunes        int
+	persistErrs   int
 }
 
 // ordRec is one entry of the ordered/delivered sequences: an identifier plus
@@ -265,6 +295,20 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	if window < 1 {
 		window = 1
 	}
+	if cfg.Persist != nil {
+		if cfg.Persist.Store == nil {
+			return nil, fmt.Errorf("core: Persist with nil Store")
+		}
+		// Persistence implies the recovery subsystem with snapshot transfer
+		// (the restart catch-up path). Work on an engine-owned copy so the
+		// caller's RecoverConfig is never mutated.
+		rc := RecoverConfig{}
+		if cfg.Recover != nil {
+			rc = *cfg.Recover
+		}
+		rc.Snapshot = true
+		cfg.Recover = &rc
+	}
 	e := &Engine{
 		ctx:       node.Context(),
 		cfg:       cfg,
@@ -286,6 +330,14 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	}
 	if cfg.Members != nil {
 		if err := e.initMembership(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Persist != nil {
+		// After initMembership (rehydrating may replace the seed view log),
+		// before initRecovery (which consumes the Link config initPersist
+		// rewires).
+		if err := e.initPersist(); err != nil {
 			return nil, err
 		}
 	}
@@ -354,6 +406,12 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		// construction can no longer fail.
 		e.armAdapt()
 	}
+	if e.pstore != nil {
+		// Same rule for the checkpoint loop — and a restarted incarnation
+		// starts probing for the tail it missed while down.
+		e.armCkpt()
+		e.armSyncReq()
+	}
 	return e, nil
 }
 
@@ -364,6 +422,7 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 //abcheck:entry public API; callers invoke it on the owning event loop (simnet.World.Do / live mailbox)
 func (e *Engine) ABroadcast(payload []byte) msg.ID {
 	e.seq++
+	e.noteSeq()
 	app := &msg.App{
 		ID:      msg.ID{Sender: e.ctx.ID(), Seq: e.seq},
 		Payload: payload,
@@ -398,9 +457,14 @@ func (e *Engine) onRDeliver(app *msg.App) {
 	if e.received[app.ID] != nil {
 		return
 	}
+	if e.pstore != nil && e.isDelivered(app.ID) {
+		// Delivered and pruned: a straggling diffusion (or re-diffusion)
+		// copy must not re-accumulate the payload the prune dropped.
+		return
+	}
 	e.received[app.ID] = app
 	delete(e.wanted, app.ID)
-	if !e.delivered[app.ID] && !e.inOrdered[app.ID] {
+	if !e.isDelivered(app.ID) && !e.inOrdered[app.ID] {
 		e.unordered.Add(app.ID)
 		e.noteUnordered(app.ID)
 	}
@@ -597,7 +661,7 @@ func (e *Engine) applyDecision(k uint64, v consensus.Value) {
 	for _, id := range ids {
 		e.unordered.Remove(id)
 		delete(e.unorderedSince, id)
-		if !e.delivered[id] && !e.inOrdered[id] {
+		if !e.isDelivered(id) && !e.inOrdered[id] {
 			e.ordered = append(e.ordered, ordRec{id: id, k: k})
 			e.inOrdered[id] = true
 		}
@@ -620,7 +684,7 @@ func (e *Engine) tryDeliver() {
 		}
 		e.ordered = e.ordered[1:]
 		delete(e.inOrdered, rec.id)
-		e.delivered[rec.id] = true
+		e.markDelivered(rec.id)
 		if e.snapshotEnabled() {
 			// The delivered prefix, in order and with ordering serials, is
 			// what snapshot transfers ship; see snapshot.go.
@@ -677,21 +741,32 @@ type Stats struct {
 	Window    int
 	MaxBatch  int
 	Retargets int
+	// Persistence counters (zero without Config.Persist): the retained
+	// delivered-log suffix length, the absolute position it starts at
+	// (entries pruned below it), and checkpoint/prune round counts.
+	DeliveredLog int
+	LogBase      uint64
+	Checkpoints  int
+	Prunes       int
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Received:    len(e.received),
-		Delivered:   len(e.delivered),
-		Unordered:   e.unordered.Len(),
-		OrderedQ:    len(e.ordered),
-		Instances:   e.kNext - 1,
-		InFlight:    len(e.inFlight),
-		MaxInFlight: e.maxInFlight,
-		Window:      e.window,
-		MaxBatch:    e.maxBatch,
-		Retargets:   e.retargets,
+		Received:     len(e.received),
+		Delivered:    e.deliveredN,
+		Unordered:    e.unordered.Len(),
+		DeliveredLog: len(e.deliveredLog),
+		LogBase:      e.logBase,
+		Checkpoints:  e.ckpts,
+		Prunes:       e.prunes,
+		OrderedQ:     len(e.ordered),
+		Instances:    e.kNext - 1,
+		InFlight:     len(e.inFlight),
+		MaxInFlight:  e.maxInFlight,
+		Window:       e.window,
+		MaxBatch:     e.maxBatch,
+		Retargets:    e.retargets,
 	}
 }
 

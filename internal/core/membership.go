@@ -200,6 +200,7 @@ func (e *Engine) applyGroup(members []stack.ProcessID) {
 //abcheck:entry public API; callers invoke it on the owning event loop (simnet.World.Do / live mailbox)
 func (e *Engine) BroadcastConfig(ch msg.ConfigChange) msg.ID {
 	e.seq++
+	e.noteSeq()
 	app := &msg.App{
 		ID:     msg.ID{Sender: e.ctx.ID(), Seq: e.seq},
 		Config: &ch,

@@ -85,6 +85,14 @@ type RecoverConfig struct {
 	// burst and installer buffering regardless of how far behind the peer
 	// is.
 	SnapshotMax int
+	// PreferPeers, when non-empty, lists the repair targets to try first:
+	// both rotating repair paths (payload fetch, decision sync) cycle
+	// through the preferred peers before the rest. The Cluster API fills it
+	// with this process's same-site peers on Topology setups, so repair
+	// traffic stays off the expensive inter-site links when a local peer can
+	// serve it. Peers outside the current view (or self) are ignored; empty
+	// leaves the rotation unchanged.
+	PreferPeers []stack.ProcessID
 }
 
 // DefaultFetchDelay is the default blocked-head fetch delay: far above any
@@ -251,6 +259,7 @@ func (e *Engine) fetchTick() {
 // peer is available.
 func (e *Engine) nextPeer(attempt int) stack.ProcessID {
 	self := e.ctx.ID()
+	prefer := e.cfg.Recover.PreferPeers
 	if e.dynamic() {
 		peers := make([]stack.ProcessID, 0, len(e.views[len(e.views)-1].members))
 		for _, q := range e.views[len(e.views)-1].members {
@@ -261,10 +270,43 @@ func (e *Engine) nextPeer(attempt int) stack.ProcessID {
 		if len(peers) == 0 {
 			return 0
 		}
+		if len(prefer) > 0 {
+			peers = preferFirst(peers, prefer)
+		}
 		return peers[attempt%len(peers)]
 	}
 	n := e.ctx.N()
+	if len(prefer) > 0 {
+		peers := make([]stack.ProcessID, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			peers = append(peers, stack.ProcessID((int(self)+i%(n-1))%n+1))
+		}
+		peers = preferFirst(peers, prefer)
+		return peers[attempt%len(peers)]
+	}
 	return stack.ProcessID((int(self)+attempt%(n-1))%n + 1)
+}
+
+// preferFirst reorders a repair rotation so the preferred targets come
+// first, preserving relative order within each half. Preferred peers not in
+// the rotation (outside the view, or self) simply do not match.
+func preferFirst(peers, prefer []stack.ProcessID) []stack.ProcessID {
+	pref := make(map[stack.ProcessID]bool, len(prefer))
+	for _, q := range prefer {
+		pref[q] = true
+	}
+	out := make([]stack.ProcessID, 0, len(peers))
+	for _, q := range peers {
+		if pref[q] {
+			out = append(out, q)
+		}
+	}
+	for _, q := range peers {
+		if !pref[q] {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // needsSync reports whether this engine knows it is behind on decisions: it
@@ -274,7 +316,7 @@ func (e *Engine) nextPeer(attempt int) stack.ProcessID {
 // snapshot.go; the condition self-clears once kNext catches up, however the
 // gap ends up closed).
 func (e *Engine) needsSync() bool {
-	return len(e.pending) > 0 || e.kNext < e.snapTarget
+	return len(e.pending) > 0 || e.kNext < e.snapTarget || e.restartProbes > 0
 }
 
 // armSyncReq schedules a decision-sync request: a hole in the decision
@@ -309,6 +351,13 @@ func (e *Engine) syncTick() {
 	}
 	e.syncReqs++
 	e.cons.RequestSync(q, e.kNext)
+	if e.restartProbes > 0 {
+		// A restarted engine probes a bounded number of peers for the tail
+		// it missed while down; each answer is a relay (shallow gap) or a
+		// snapshot offer (behind the relay floor), and the other needsSync
+		// conditions carry the catch-up from there.
+		e.restartProbes--
+	}
 	e.armSyncReq()
 }
 
@@ -390,6 +439,10 @@ func (e *Engine) onSync(from stack.ProcessID, _ uint64, m stack.Message) {
 		// as if the diffusion broadcast had finally arrived.
 		for _, a := range mm.Apps {
 			e.onRDeliver(a)
+		}
+	case FrontierMsg:
+		if e.pstore != nil {
+			e.noteFrontier(from, mm.Frontier)
 		}
 	}
 }

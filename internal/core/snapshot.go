@@ -206,7 +206,7 @@ func (e *Engine) onSnapOffer(from stack.ProcessID, m SnapOfferMsg) {
 		// the promised serial, no matter which repair path gets it there.
 		e.snapTarget = m.Boundary
 	}
-	e.snap.Send(from, 0, SnapAcceptMsg{Delivered: uint64(len(e.deliveredLog))})
+	e.snap.Send(from, 0, SnapAcceptMsg{Delivered: e.logBase + uint64(len(e.deliveredLog))})
 	e.armSyncReq()
 }
 
@@ -214,9 +214,16 @@ func (e *Engine) onSnapOffer(from stack.ProcessID, m SnapOfferMsg) {
 // sequence from position `from`, truncated at an instance boundary once
 // SnapshotMax entries are exceeded, split into SnapshotChunk-sized chunks.
 func (e *Engine) serveSnapshot(q stack.ProcessID, from uint64) {
-	total := uint64(len(e.deliveredLog) + len(e.ordered))
+	total := e.logBase + uint64(len(e.deliveredLog)+len(e.ordered))
 	if q == e.ctx.ID() || from >= total {
 		return // nothing to transfer (the peer caught up some other way)
+	}
+	if from < e.logBase {
+		// The prefix below logBase is pruned: only a fresh joiner can be
+		// this far back (every member's durable frontier passed the prune
+		// boundary), and a joiner jump-starts at the base — the pruned
+		// prefix is checkpointed by everyone and needed by no one.
+		from = e.logBase
 	}
 	maxEntries := e.snapshotMax()
 	boundary := e.kNext
@@ -264,9 +271,12 @@ func (e *Engine) serveSnapshot(q stack.ProcessID, from uint64) {
 	e.snapsServed++
 }
 
-// decidedAt returns the i-th element of this engine's decided sequence: the
-// delivered prefix followed by the ordered-but-undelivered tail.
+// decidedAt returns the element at absolute position i of this engine's
+// decided sequence: the retained delivered log (which starts at position
+// logBase; callers never index below it) followed by the
+// ordered-but-undelivered tail.
 func (e *Engine) decidedAt(i uint64) ordRec {
+	i -= e.logBase
 	if i < uint64(len(e.deliveredLog)) {
 		return e.deliveredLog[i]
 	}
@@ -285,8 +295,13 @@ func (e *Engine) onSnapChunk(from stack.ProcessID, m SnapChunkMsg) {
 		return
 	}
 	if e.snapChunks == nil {
-		if m.Start > uint64(len(e.deliveredLog)) {
-			return // gap before the transfer start; wait for a fresh offer
+		if m.Start > e.logBase+uint64(len(e.deliveredLog)) && len(e.deliveredLog) > 0 {
+			// Gap before the transfer start; wait for a fresh offer. An
+			// engine with no retained log may accept a start beyond its
+			// count — the joiner jump of installSnapshot (a member's count
+			// is always ≥ every producer's logBase, so for members the gap
+			// check is exactly the pre-persistence one).
+			return
 		}
 		e.snapBoundary, e.snapStart, e.snapTotal, e.snapMore = m.Boundary, m.Start, m.Total, m.More
 		e.snapChunks = make(map[int][]SnapEntry, m.Total)
@@ -328,9 +343,21 @@ func (e *Engine) resetTransfer() {
 // are reconciled, the prefix is delivered, and the normal relay/fetch
 // machinery is left to finish the tail.
 func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint64, entries []SnapEntry, more bool) {
-	delivered := uint64(len(e.deliveredLog))
-	if start > delivered || boundary <= e.kNext {
+	delivered := e.logBase + uint64(len(e.deliveredLog))
+	if boundary <= e.kNext {
 		return
+	}
+	if start > delivered {
+		if len(e.deliveredLog) > 0 {
+			return
+		}
+		// Fresh joiner behind the group's prune boundary: the prefix below
+		// start is checkpointed by every member and pruned group-wide, so
+		// the transfer legitimately begins at the producer's log base.
+		// Adopt it — the joiner's application then observes the suffix
+		// only, like any replica bootstrapped from a snapshot.
+		e.logBase = start
+		delivered = start
 	}
 	// Skip what this engine delivered since the accept (defensive: during a
 	// deep lag the prefix cannot normally grow mid-transfer).
@@ -346,7 +373,7 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 	}
 	e.ordered = e.ordered[:0]
 	for _, en := range entries {
-		if e.delivered[en.ID] {
+		if e.isDelivered(en.ID) {
 			continue
 		}
 		if !en.Missing && e.received[en.ID] == nil {
@@ -401,7 +428,7 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 		// wait out the sync timer and risk the producer's relay cooldown
 		// swallowing the re-request; a fresh accept streams immediately,
 		// and the sync timer remains the backstop if it is lost.
-		e.snap.Send(producer, 0, SnapAcceptMsg{Delivered: uint64(len(e.deliveredLog))})
+		e.snap.Send(producer, 0, SnapAcceptMsg{Delivered: e.logBase + uint64(len(e.deliveredLog))})
 	}
 	e.armFetch()
 	e.armSyncReq()

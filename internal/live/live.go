@@ -116,7 +116,7 @@ func NewNetwork(n int, opts ...Option) *Network {
 			done:  make(chan struct{}),
 			rng:   rand.New(rand.NewSource(cfg.seed + int64(i)*104729)),
 		}
-		p.node = stack.NewNode(p)
+		p.node.Store(stack.NewNode(p))
 		net.procs[i] = p
 		net.wg.Add(1)
 		go p.loop(&net.wg)
@@ -129,7 +129,7 @@ func (net *Network) N() int { return len(net.procs) - 1 }
 
 // Node returns the protocol node of process p for wiring layers. Wire all
 // layers before injecting traffic.
-func (net *Network) Node(p stack.ProcessID) *stack.Node { return net.procs[p].node }
+func (net *Network) Node(p stack.ProcessID) *stack.Node { return net.procs[p].node.Load() }
 
 // Proc returns the runtime context of process p.
 func (net *Network) Proc(p stack.ProcessID) *Proc { return net.procs[p] }
@@ -139,8 +139,27 @@ func (net *Network) Proc(p stack.ProcessID) *Proc { return net.procs[p] }
 func (net *Network) Do(p stack.ProcessID, fn func()) { net.procs[p].inbox.put(fn) }
 
 // Crash stops process p: it handles no further events and its pending sends
-// are dropped.
+// are dropped. Restart revives it as a fresh incarnation.
 func (net *Network) Crash(p stack.ProcessID) { net.procs[p].crashed.Store(true) }
+
+// Restart revives a crashed process as a fresh incarnation: a new protocol
+// node on the same event loop. Bumping the incarnation epoch invalidates
+// every timer the previous incarnation armed (a real restarted process has
+// no memory of its timers), while messages still in flight toward p deliver
+// into the new incarnation — the at-least-once surface a restarted process
+// faces on a real network. The caller wires a fresh protocol stack on the
+// returned node (via Do, so no event precedes complete wiring), typically
+// rehydrating it from a persist.Store the previous incarnation wrote.
+// Restart of a non-crashed process is a caller bug: the old stack would
+// keep running against a node no longer receiving traffic.
+func (net *Network) Restart(p stack.ProcessID) *stack.Node {
+	pr := net.procs[p]
+	pr.epoch.Add(1) // kill the previous incarnation's timers first
+	node := stack.NewNode(pr)
+	pr.node.Store(node)
+	pr.crashed.Store(false)
+	return node
+}
 
 // Close shuts down every process loop and link, waits for them to exit,
 // then stops all outstanding timers.
@@ -217,12 +236,16 @@ type Proc struct {
 	net       *Network
 	id        stack.ProcessID
 	n         int
-	node      *stack.Node
+	node      atomic.Pointer[stack.Node] // swapped by Network.Restart
 	inbox     *mailbox
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
 	crashed   atomic.Bool
+	// epoch counts incarnations; Network.Restart bumps it. Timer callbacks
+	// capture the epoch they were armed under and drop themselves on
+	// mismatch, so a dead incarnation's timers never fire into a new one.
+	epoch atomic.Int64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -283,7 +306,7 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 	from := p.id
 	dst := p.net.procs[to]
 	if to == p.id {
-		dst.inbox.put(func() { dst.node.Dispatch(from, env) })
+		dst.inbox.put(func() { dst.node.Load().Dispatch(from, env) })
 		return
 	}
 	d := p.net.cfg.latency
@@ -310,20 +333,24 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 			}
 		}
 		if !p.crashed.Load() { // crashed senders lose in-flight messages
-			dst.inbox.put(func() { dst.node.Dispatch(from, env) })
+			dst.inbox.put(func() { dst.node.Load().Dispatch(from, env) })
 		}
 	})
 }
 
-// SetTimer implements stack.Context.
+// SetTimer implements stack.Context. The callback belongs to the arming
+// incarnation: it is dropped if the process crashed or restarted (epoch
+// mismatch) before it runs — checked again at execution, because a restart
+// may land between the enqueue and the event loop draining it.
 func (p *Proc) SetTimer(d time.Duration, fn func()) (cancel func()) {
 	var cancelled atomic.Bool
+	epoch := p.epoch.Load()
 	stop := p.net.timer.schedule(d, func() {
-		if cancelled.Load() || p.crashed.Load() {
+		if cancelled.Load() || p.crashed.Load() || p.epoch.Load() != epoch {
 			return
 		}
 		p.inbox.put(func() {
-			if !cancelled.Load() {
+			if !cancelled.Load() && p.epoch.Load() == epoch {
 				fn()
 			}
 		})

@@ -1,0 +1,135 @@
+package persist
+
+import (
+	"fmt"
+
+	"abcast/internal/msg"
+	"abcast/internal/stack"
+	"abcast/internal/wire/binary"
+)
+
+// ckptFormat is the first byte of an encoded checkpoint. Bump only on an
+// incompatible layout change; a store finding an unknown format refuses the
+// load rather than misparse.
+const ckptFormat = 1
+
+// appendID appends one identifier (zigzag sender + uvarint sequence, the
+// wire codec's identifier layout).
+func appendID(b []byte, id msg.ID) []byte {
+	b = binary.AppendVarint(b, int64(id.Sender))
+	return binary.AppendUvarint(b, id.Seq)
+}
+
+// readID reads one identifier.
+func readID(r *binary.Reader) msg.ID {
+	return msg.ID{Sender: stack.ProcessID(r.Varint()), Seq: r.Uvarint()}
+}
+
+// EncodeCheckpoint renders a checkpoint in the store's canonical binary
+// form.
+func EncodeCheckpoint(cp *Checkpoint) []byte {
+	b := []byte{ckptFormat}
+	b = binary.AppendUvarint(b, cp.Frontier)
+	b = binary.AppendUvarint(b, cp.Seq)
+	b = binary.AppendUvarint(b, cp.LinkReserve)
+	b = binary.AppendUvarint(b, cp.LogBase)
+	b = binary.AppendUvarint(b, uint64(len(cp.Entries)))
+	for _, en := range cp.Entries {
+		b = appendID(b, en.ID)
+		b = binary.AppendUvarint(b, en.K)
+	}
+	b = binary.AppendUvarint(b, uint64(len(cp.Floors)))
+	for _, fl := range cp.Floors {
+		b = binary.AppendVarint(b, int64(fl.Sender))
+		b = binary.AppendUvarint(b, fl.Seq)
+	}
+	b = binary.AppendUvarint(b, uint64(len(cp.Residue)))
+	for _, id := range cp.Residue {
+		b = appendID(b, id)
+	}
+	b = binary.AppendUvarint(b, uint64(len(cp.Views)))
+	for _, v := range cp.Views {
+		b = binary.AppendUvarint(b, v.Eff)
+		b = binary.AppendUvarint(b, uint64(len(v.Members)))
+		for _, m := range v.Members {
+			b = binary.AppendVarint(b, int64(m))
+		}
+	}
+	return b
+}
+
+// DecodeCheckpoint parses a checkpoint previously rendered by
+// EncodeCheckpoint, treating the input as untrusted (bounds-checked lengths
+// throughout).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := binary.NewReader(data)
+	if f := r.Byte(); r.Err() == nil && f != ckptFormat {
+		return nil, fmt.Errorf("persist: unknown checkpoint format %d", f)
+	}
+	cp := &Checkpoint{}
+	cp.Frontier = r.Uvarint()
+	cp.Seq = r.Uvarint()
+	cp.LinkReserve = r.Uvarint()
+	cp.LogBase = r.Uvarint()
+	if n := r.Len(3); n > 0 {
+		cp.Entries = make([]Entry, n)
+		for i := range cp.Entries {
+			cp.Entries[i] = Entry{ID: readID(r), K: r.Uvarint()}
+		}
+	}
+	if n := r.Len(2); n > 0 {
+		cp.Floors = make([]Floor, n)
+		for i := range cp.Floors {
+			cp.Floors[i] = Floor{Sender: stack.ProcessID(r.Varint()), Seq: r.Uvarint()}
+		}
+	}
+	if n := r.Len(2); n > 0 {
+		cp.Residue = make([]msg.ID, n)
+		for i := range cp.Residue {
+			cp.Residue[i] = readID(r)
+		}
+	}
+	if n := r.Len(2); n > 0 {
+		cp.Views = make([]View, n)
+		for i := range cp.Views {
+			cp.Views[i].Eff = r.Uvarint()
+			if k := r.Len(1); k > 0 {
+				cp.Views[i].Members = make([]stack.ProcessID, k)
+				for j := range cp.Views[i].Members {
+					cp.Views[i].Members[j] = stack.ProcessID(r.Varint())
+				}
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("persist: decode checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// appendWALRecord appends one WAL record (kind byte + uvarint value).
+func appendWALRecord(b []byte, rec WALRecord) []byte {
+	b = append(b, byte(rec.Kind))
+	return binary.AppendUvarint(b, rec.Value)
+}
+
+// decodeWAL replays records from raw log bytes. A torn tail — the process
+// died mid-append — ends the replay silently, the standard WAL contract:
+// everything before the tear was durable and is returned.
+func decodeWAL(data []byte, fn func(WALRecord) error) error {
+	r := binary.NewReader(data)
+	for r.Remaining() > 0 {
+		k := r.Byte()
+		if k != byte(WALSeq) && k != byte(WALLinkReserve) {
+			return nil // torn or foreign tail; stop at the last good record
+		}
+		v := r.Uvarint()
+		if r.Err() != nil {
+			return nil
+		}
+		if err := fn(WALRecord{Kind: WALKind(k), Value: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File names inside a FileStore directory.
+const (
+	ckptFile = "checkpoint.bin"
+	walFile  = "wal.bin"
+	tmpFile  = "checkpoint.tmp"
+)
+
+// FileStore is the file-backed Store: one directory per process holding the
+// latest checkpoint (replaced atomically via rename) and an append-only WAL.
+// It is what makes restart survive the OS process: point the next
+// incarnation at the same directory.
+type FileStore struct {
+	dir    string
+	wal    *os.File
+	closed bool
+}
+
+// OpenFileStore opens (creating if needed) the store rooted at dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	w, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open WAL: %w", err)
+	}
+	return &FileStore{dir: dir, wal: w}, nil
+}
+
+// Dir returns the store's directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// SaveCheckpoint implements Store: write-to-temp then rename, so a crash
+// mid-save leaves the previous checkpoint intact.
+func (s *FileStore) SaveCheckpoint(cp *Checkpoint) error {
+	if s.closed {
+		return ErrClosed
+	}
+	c := cp.Clone()
+	c.normalize()
+	tmp := filepath.Join(s.dir, tmpFile)
+	if err := os.WriteFile(tmp, EncodeCheckpoint(c), 0o644); err != nil {
+		return fmt.Errorf("persist: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, ckptFile)); err != nil {
+		return fmt.Errorf("persist: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint implements Store.
+func (s *FileStore) LoadCheckpoint() (*Checkpoint, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, ckptFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: read checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}
+
+// AppendWAL implements Store.
+func (s *FileStore) AppendWAL(rec WALRecord) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(appendWALRecord(nil, rec)); err != nil {
+		return fmt.Errorf("persist: append WAL: %w", err)
+	}
+	return nil
+}
+
+// ReplayWAL implements Store.
+func (s *FileStore) ReplayWAL(fn func(WALRecord) error) error {
+	if s.closed {
+		return ErrClosed
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+	if err != nil {
+		return fmt.Errorf("persist: read WAL: %w", err)
+	}
+	return decodeWAL(data, fn)
+}
+
+// TruncateWAL implements Store.
+func (s *FileStore) TruncateWAL() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncate WAL: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}

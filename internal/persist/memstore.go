@@ -1,0 +1,80 @@
+package persist
+
+import "errors"
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("persist: store is closed")
+
+// MemStore is the in-memory Store: checkpoint and WAL survive engine
+// restarts within the same OS process (the simulator's crash/restart
+// episodes, tests, the bench harness), and nothing survives the process.
+type MemStore struct {
+	cp     *Checkpoint
+	wal    []WALRecord
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// SaveCheckpoint implements Store.
+func (s *MemStore) SaveCheckpoint(cp *Checkpoint) error {
+	if s.closed {
+		return ErrClosed
+	}
+	c := cp.Clone()
+	c.normalize()
+	s.cp = c
+	return nil
+}
+
+// LoadCheckpoint implements Store.
+func (s *MemStore) LoadCheckpoint() (*Checkpoint, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.cp.Clone(), nil
+}
+
+// AppendWAL implements Store.
+func (s *MemStore) AppendWAL(rec WALRecord) error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.wal = append(s.wal, rec)
+	return nil
+}
+
+// ReplayWAL implements Store.
+func (s *MemStore) ReplayWAL(fn func(WALRecord) error) error {
+	if s.closed {
+		return ErrClosed
+	}
+	for _, rec := range s.wal {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateWAL implements Store.
+func (s *MemStore) TruncateWAL() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.wal = nil
+	return nil
+}
+
+// Close implements Store. The retained state survives: reopening is simply
+// using the same *MemStore for the next engine incarnation, so Close only
+// marks the handoff boundary.
+func (s *MemStore) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Reopen returns the store to service after a Close, for the next engine
+// incarnation (a restart within the same OS process reuses the value).
+func (s *MemStore) Reopen() { s.closed = false }

@@ -1,0 +1,261 @@
+package persist
+
+import (
+	"reflect"
+	"testing"
+
+	"abcast/internal/msg"
+	"abcast/internal/stack"
+)
+
+// sampleCheckpoint builds a checkpoint exercising every field, including
+// unsorted floors/residue (the stores must canonicalize).
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Frontier:    42,
+		Seq:         117,
+		LinkReserve: 2048,
+		LogBase:     39,
+		Entries: []Entry{
+			{ID: msg.ID{Sender: 2, Seq: 11}, K: 40},
+			{ID: msg.ID{Sender: 1, Seq: 9}, K: 41},
+			{ID: msg.ID{Sender: 3, Seq: 1}, K: 41},
+		},
+		Floors: []Floor{
+			{Sender: 3, Seq: 1},
+			{Sender: 1, Seq: 9},
+			{Sender: 2, Seq: 10},
+		},
+		Residue: []msg.ID{
+			{Sender: 2, Seq: 13},
+			{Sender: 1, Seq: 11},
+		},
+		Views: []View{
+			{Eff: 1, Members: []stack.ProcessID{1, 2, 3}},
+			{Eff: 30, Members: []stack.ProcessID{1, 2, 3, 4}},
+		},
+	}
+}
+
+// canonical returns the checkpoint in the normalized form stores hand back.
+func canonical(cp *Checkpoint) *Checkpoint {
+	c := cp.Clone()
+	c.normalize()
+	return c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cp := canonical(sampleCheckpoint())
+	got, err := DecodeCheckpoint(EncodeCheckpoint(cp))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeCheckpoint(canonical(sampleCheckpoint()))
+	if _, err := DecodeCheckpoint(enc[:len(enc)-1]); err == nil {
+		t.Fatalf("truncated checkpoint decoded without error")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = 99 // unknown format byte
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatalf("unknown format decoded without error")
+	}
+	if _, err := DecodeCheckpoint(append(enc, 0)); err == nil {
+		t.Fatalf("trailing bytes decoded without error")
+	}
+}
+
+// storeSuite runs the Store contract against one implementation.
+func storeSuite(t *testing.T, open func(t *testing.T) Store) {
+	t.Run("EmptyStoreRecoversNil", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		cp, err := Recover(s)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if cp != nil {
+			t.Fatalf("empty store recovered %+v, want nil", cp)
+		}
+	})
+
+	t.Run("CheckpointRoundTrip", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		want := sampleCheckpoint()
+		if err := s.SaveCheckpoint(want); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		got, err := s.LoadCheckpoint()
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if !reflect.DeepEqual(got, canonical(want)) {
+			t.Fatalf("loaded %+v\nwant %+v", got, canonical(want))
+		}
+	})
+
+	t.Run("SaveReplacesPrevious", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		first := sampleCheckpoint()
+		if err := s.SaveCheckpoint(first); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		second := sampleCheckpoint()
+		second.Frontier = 77
+		second.LogBase = 70
+		if err := s.SaveCheckpoint(second); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		got, err := s.LoadCheckpoint()
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if got.Frontier != 77 || got.LogBase != 70 {
+			t.Fatalf("loaded frontier %d base %d, want 77/70", got.Frontier, got.LogBase)
+		}
+	})
+
+	t.Run("WALAdvancesCounters", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if err := s.SaveCheckpoint(&Checkpoint{Frontier: 5, Seq: 10, LinkReserve: 100}); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		for _, rec := range []WALRecord{
+			{Kind: WALSeq, Value: 11},
+			{Kind: WALSeq, Value: 12},
+			{Kind: WALLinkReserve, Value: 1124},
+		} {
+			if err := s.AppendWAL(rec); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		cp, err := Recover(s)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if cp.Seq != 12 || cp.LinkReserve != 1124 || cp.Frontier != 5 {
+			t.Fatalf("recovered %+v, want Seq 12, LinkReserve 1124, Frontier 5", cp)
+		}
+	})
+
+	t.Run("WALWithoutCheckpointStillRecovers", func(t *testing.T) {
+		// A crash before the first checkpoint must still restore the
+		// sequence counters — that is the WAL's whole reason to exist.
+		s := open(t)
+		defer s.Close()
+		if err := s.AppendWAL(WALRecord{Kind: WALSeq, Value: 3}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		cp, err := Recover(s)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if cp == nil || cp.Seq != 3 {
+			t.Fatalf("recovered %+v, want Seq 3", cp)
+		}
+	})
+
+	t.Run("TruncateDropsWAL", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if err := s.AppendWAL(WALRecord{Kind: WALSeq, Value: 9}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if err := s.TruncateWAL(); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		n := 0
+		if err := s.ReplayWAL(func(WALRecord) error { n++; return nil }); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if n != 0 {
+			t.Fatalf("replayed %d records after truncate, want 0", n)
+		}
+		// Appends after a truncation land in a fresh log.
+		if err := s.AppendWAL(WALRecord{Kind: WALSeq, Value: 21}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		cp, err := Recover(s)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if cp == nil || cp.Seq != 21 {
+			t.Fatalf("recovered %+v, want Seq 21", cp)
+		}
+	})
+}
+
+func TestMemStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) Store { return NewMemStore() })
+}
+
+func TestFileStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) Store {
+		s, err := OpenFileStore(t.TempDir())
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return s
+	})
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.SaveCheckpoint(sampleCheckpoint()); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := s.AppendWAL(WALRecord{Kind: WALSeq, Value: 200}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	cp, err := Recover(s2)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if cp == nil || cp.Frontier != 42 || cp.Seq != 200 {
+		t.Fatalf("recovered %+v, want Frontier 42, Seq 200 (WAL applied)", cp)
+	}
+}
+
+func TestFileStoreTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := s.AppendWAL(WALRecord{Kind: WALSeq, Value: 7}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Simulate a crash mid-append: a lone kind byte with no value.
+	if _, err := s.wal.Write([]byte{byte(WALSeq)}); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	cp, err := Recover(s)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if cp == nil || cp.Seq != 7 {
+		t.Fatalf("recovered %+v, want the pre-tear Seq 7", cp)
+	}
+	s.Close()
+}

@@ -88,6 +88,19 @@ type Config struct {
 	// since the protocol layers above keep broadcasting to every process
 	// (default DefaultMaxProbes).
 	MaxProbes int
+	// StartSeq is the first sequence number new outgoing streams assign
+	// (default 1). A restarted process must resume *above* every sequence
+	// number its previous incarnation ever used: receivers remember the
+	// old stream positions, and a reused number would be dropped as a
+	// duplicate — silently losing a fresh envelope. The crash-recovery
+	// layer passes the write-ahead-logged reservation here.
+	StartSeq uint64
+	// OnReserve, when set, is invoked whenever the link claims a new block
+	// of sequence numbers: every number the link will ever assign is below
+	// the reported limit until OnReserve is called again with a higher
+	// one. The crash-recovery layer logs the limit write-ahead and feeds
+	// it back via StartSeq on restart.
+	OnReserve func(limit uint64)
 }
 
 // Defaults for the zero Config.
@@ -116,8 +129,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxProbes <= 0 {
 		c.MaxProbes = DefaultMaxProbes
 	}
+	if c.StartSeq == 0 {
+		c.StartSeq = 1
+	}
 	return c
 }
+
+// reserveSlack is the size of each sequence-number block claimed through
+// Config.OnReserve: large enough that steady traffic reserves rarely, small
+// enough that the numbers skipped on restart are negligible against the
+// uint64 space.
+const reserveSlack = 1024
 
 // SeqMsg wraps one protocol envelope with its stream sequence number. Low is
 // the sender's eviction watermark: no sequence number below it can be
@@ -231,6 +253,11 @@ type Link struct {
 	out map[stack.ProcessID]*outStream
 	in  map[stack.ProcessID]*inStream
 
+	// reserve is the sequence-number limit last reported through
+	// Config.OnReserve: every stream's next assignment stays below it, or a
+	// new block is claimed first.
+	reserve uint64
+
 	timerArmed bool
 	cancelTick func()
 	stats      Stats
@@ -254,6 +281,7 @@ func New(node *stack.Node, cfg Config) *Link {
 		out:  make(map[stack.ProcessID]*outStream),
 		in:   make(map[stack.ProcessID]*inStream),
 	}
+	l.reserve = l.cfg.StartSeq
 	node.Register(stack.ProtoLink, stack.HandlerFunc(l.receive))
 	node.SetSender(l)
 	return l
@@ -320,6 +348,12 @@ func (l *Link) Send(to stack.ProcessID, env stack.Envelope) {
 	}
 	os := l.outTo(to)
 	os.next++
+	if l.cfg.OnReserve != nil && os.next >= l.reserve {
+		// Claim the next block write-ahead: the callback must make the limit
+		// durable before this sequence number leaves the process.
+		l.reserve = os.next + reserveSlack
+		l.cfg.OnReserve(l.reserve)
+	}
 	os.entries = append(os.entries, &outEntry{env: env, lastSent: l.ctx.Now()})
 	os.live++
 	os.unanswered = 0 // fresh traffic re-earns the probe budget
@@ -359,7 +393,7 @@ func (os *outStream) trim() {
 func (l *Link) outTo(q stack.ProcessID) *outStream {
 	os, ok := l.out[q]
 	if !ok {
-		os = &outStream{base: 1, rtt: stats.NewEwma(rttAlpha)}
+		os = &outStream{base: l.cfg.StartSeq, next: l.cfg.StartSeq - 1, rtt: stats.NewEwma(rttAlpha)}
 		l.out[q] = os
 	}
 	return os

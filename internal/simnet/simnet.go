@@ -164,6 +164,30 @@ func (w *World) Crash(p stack.ProcessID, mode CrashMode) {
 	}
 }
 
+// Restart revives a crashed process as a fresh incarnation: a new protocol
+// node on the same process identity, with every trace of the previous
+// incarnation's volatile state discarded. The incarnation epoch is bumped so
+// that timers armed and CPU tasks queued by the dead incarnation are dropped
+// when they fire — a restarted process must not execute callbacks that close
+// over pre-crash protocol state. Messages still in flight toward p deliver
+// into the new incarnation (the network does not know the process died),
+// which is exactly the at-least-once surface the persistence layer's
+// checkpoint dedup absorbs.
+//
+// The caller rebuilds the protocol stack on the returned node (the same
+// wiring it did at start-up, now with the persistent store carrying the
+// checkpoint) and schedules the rebuild via w.Engine().At — NOT w.After,
+// whose timer would have been dropped while the process was crashed.
+func (w *World) Restart(pid stack.ProcessID) *stack.Node {
+	p := w.procs[pid]
+	p.crashed = false
+	p.epoch++
+	p.queue = nil
+	delete(w.dropped, pid)
+	p.node = stack.NewNode(p)
+	return p.node
+}
+
 // PartitionMode selects what happens to messages crossing a partition cut.
 type PartitionMode int
 
@@ -285,6 +309,12 @@ type Proc struct {
 	rng     *rand.Rand
 	crashed bool
 
+	// epoch counts incarnations: bumped by World.Restart. Timers and CPU
+	// tasks capture the epoch they were created under and are dropped when
+	// it no longer matches, so callbacks closing over a dead incarnation's
+	// protocol state never run against the new one.
+	epoch int
+
 	queue       []cpuTask
 	pumpArmed   bool
 	taskRunning bool
@@ -292,8 +322,9 @@ type Proc struct {
 
 // cpuTask is one queued unit of process work.
 type cpuTask struct {
-	cost time.Duration
-	fn   func()
+	cost  time.Duration
+	fn    func()
+	epoch int
 }
 
 var _ stack.Context = (*Proc)(nil)
@@ -412,7 +443,7 @@ func (p *Proc) exec(cost time.Duration, fn func()) {
 	if p.crashed {
 		return
 	}
-	p.queue = append(p.queue, cpuTask{cost: cost, fn: fn})
+	p.queue = append(p.queue, cpuTask{cost: cost, fn: fn, epoch: p.epoch})
 	p.pump()
 }
 
@@ -450,7 +481,7 @@ func (p *Proc) pump() {
 		p.cpu.Extend(now, task.cost)
 		p.taskRunning = true
 		eng.At(p.cpu.FreeAt(), func() {
-			if !p.crashed {
+			if !p.crashed && task.epoch == p.epoch {
 				task.fn()
 			}
 			p.taskRunning = false
@@ -463,8 +494,9 @@ func (p *Proc) pump() {
 // run queue once the delay elapses and the CPU is free.
 func (p *Proc) SetTimer(d time.Duration, fn func()) (cancel func()) {
 	cancelled := false
+	epoch := p.epoch
 	tm := p.world.eng.After(d, func() {
-		if p.crashed || cancelled {
+		if p.crashed || cancelled || p.epoch != epoch {
 			return
 		}
 		p.exec(0, func() {

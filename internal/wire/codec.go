@@ -44,6 +44,7 @@ const (
 	tagSnapAccept byte = 18 // core.SnapAcceptMsg
 	tagSnapChunk  byte = 19 // core.SnapChunkMsg
 	tagApp        byte = 20 // *msg.App (application-level traffic)
+	tagFrontier   byte = 21 // core.FrontierMsg
 )
 
 // Value tags for the consensus.Value interface field of consensus messages.
@@ -77,6 +78,7 @@ var registeredTypes = []string{
 	"abcast/internal/core.SnapOfferMsg",
 	"abcast/internal/core.SnapAcceptMsg",
 	"abcast/internal/core.SnapChunkMsg",
+	"abcast/internal/core.FrontierMsg",
 	"abcast/internal/core.IDSetValue",
 	"abcast/internal/core.MsgSetValue",
 	"abcast/internal/msg.App",
@@ -198,6 +200,9 @@ func appendMessage(b []byte, m stack.Message, depth int) ([]byte, error) {
 			b = appendConfig(b, en.Cfg)
 		}
 		return b, nil
+	case core.FrontierMsg:
+		b = append(b, tagFrontier)
+		return bin.AppendUvarint(b, v.Frontier), nil
 	case *msg.App:
 		b = append(b, tagApp)
 		return appendApp(b, v)
@@ -393,6 +398,8 @@ func decodeMessage(r *bin.Reader, depth int) stack.Message {
 			}
 		}
 		return m
+	case tagFrontier:
+		return core.FrontierMsg{Frontier: r.Uvarint()}
 	case tagApp:
 		return decodeApp(r)
 	default:

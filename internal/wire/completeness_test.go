@@ -154,7 +154,7 @@ func TestWireCompleteness(t *testing.T) {
 			t.Errorf("wireSizeAllowlist lists %s but no such WireSize implementation exists — remove the stale entry", name)
 		}
 	}
-	if want := len(registeredTypes); want != 22 {
+	if want := len(registeredTypes); want != 23 {
 		t.Errorf("registeredTypes shrank to %d entries — codec coverage must only grow", want)
 	}
 }

@@ -58,6 +58,7 @@ func gobRegister() {
 		gob.Register(core.SnapOfferMsg{})
 		gob.Register(core.SnapAcceptMsg{})
 		gob.Register(core.SnapChunkMsg{})
+		gob.Register(core.FrontierMsg{})
 		gob.Register(&msg.App{})
 	})
 }
@@ -173,6 +174,7 @@ func TestDifferentialPerType(t *testing.T) {
 		relink.SeqMsg{}, relink.AckMsg{}, relink.ProbeMsg{},
 		core.FetchMsg{}, core.SupplyMsg{},
 		core.SnapOfferMsg{}, core.SnapAcceptMsg{}, core.SnapChunkMsg{},
+		core.FrontierMsg{},
 		&msg.App{},
 	}
 	for _, m := range wantTypes {

@@ -76,6 +76,7 @@ func goldenCases() []goldenCase {
 				{ID: msg.ID{Sender: 1, Seq: 2}, K: 3, Payload: []byte("st")},
 				{ID: msg.ID{Sender: 2, Seq: 1}, K: 4, Missing: true, Cfg: &msg.ConfigChange{Join: 4}},
 			}}}},
+		{"core.FrontierMsg", 2, stack.Envelope{Proto: stack.ProtoSync, Msg: core.FrontierMsg{Frontier: 33}}},
 		{"msg.App", 2, stack.Envelope{Proto: stack.ProtoApp, Inst: 1, Msg: cfgApp}},
 		{"value.IDSetValue.empty", 1, stack.Envelope{Proto: stack.ProtoCons, Inst: 7, Msg: consensus.DecideMsg{Est: core.IDSetValue{}}}},
 		{"value.nil", 2, stack.Envelope{Proto: stack.ProtoCons, Inst: 7, Msg: consensus.CTEstimateMsg{R: 1, TS: -1}}},

@@ -81,6 +81,9 @@ func caseEnvelopes() []stack.Envelope {
 		{Proto: stack.ProtoSync, Msg: core.FetchMsg{IDs: []msg.ID{{Sender: 1, Seq: 4}, {Sender: 5, Seq: 1}}}},
 		{Proto: stack.ProtoSync, Msg: core.SupplyMsg{}},
 		{Proto: stack.ProtoSync, Msg: core.SupplyMsg{Apps: []*msg.App{app, appLeave}}},
+		// Recovery: checkpoint frontier gossip.
+		{Proto: stack.ProtoSync, Msg: core.FrontierMsg{}},
+		{Proto: stack.ProtoSync, Msg: core.FrontierMsg{Frontier: math.MaxUint64}},
 		// Recovery: snapshot state transfer.
 		{Proto: stack.ProtoSnapshot, Msg: core.SnapOfferMsg{Boundary: 99}},
 		{Proto: stack.ProtoSnapshot, Msg: core.SnapAcceptMsg{Delivered: 12}},
@@ -182,15 +185,15 @@ func randomUint64s(rng *rand.Rand, max int) []uint64 {
 }
 
 // numMessageKinds is the number of concrete message types messageOfKind can
-// produce; kinds 18 and 19 are the nesting types (Piggy, Seq).
-const numMessageKinds = 20
+// produce; kinds 19 and 20 are the nesting types (Piggy, Seq).
+const numMessageKinds = 21
 
 // randomMessage draws one random message instance. depth bounds nesting so
 // Piggy/Seq recursion terminates.
 func randomMessage(rng *rand.Rand, depth int) stack.Message {
 	n := numMessageKinds
 	if depth >= 2 {
-		n = 18 // exclude the two nesting types deeper down
+		n = 19 // exclude the two nesting types deeper down
 	}
 	return messageOfKind(rng, rng.Intn(n), depth)
 }
@@ -268,6 +271,8 @@ func messageOfKind(rng *rand.Rand, kind, depth int) stack.Message {
 	case 17:
 		return randomApp(rng)
 	case 18:
+		return core.FrontierMsg{Frontier: rng.Uint64() >> uint(rng.Intn(64))}
+	case 19:
 		return consensus.PiggyMsg{
 			Opens: randomUint64s(rng, 6),
 			M:     randomMessage(rng, depth+1),
