@@ -2,6 +2,7 @@ package abcast
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,11 +12,13 @@ import (
 	"abcast/internal/core"
 	"abcast/internal/fd"
 	"abcast/internal/live"
+	"abcast/internal/metrics"
 	"abcast/internal/msg"
 	"abcast/internal/netmodel"
 	"abcast/internal/persist"
 	"abcast/internal/rbcast"
 	"abcast/internal/stack"
+	"abcast/internal/trace"
 )
 
 // Stack selects the ordering protocol of a Cluster.
@@ -190,6 +193,27 @@ type Options struct {
 	// process's event loop (do not block in it). Deliveries are also
 	// always available through Next.
 	OnDeliver func(process int, d Delivery)
+	// Trace enables lifecycle tracing: every message's path (abroadcast →
+	// receive → propose → decide → ordered → adeliver, plus the recovery
+	// events that repair a run) is recorded with each process's own clock
+	// and exported through WriteTrace. Off (the default) costs one pointer
+	// test per hook point; on, recording allocates only the shared event
+	// buffer, never perturbing protocol scheduling.
+	Trace bool
+	// Metrics enables the unified metrics registry: each process's layer
+	// counters (core, consensus, recovery link, failure detector,
+	// persistence) register into a per-process catalog readable through
+	// MetricsSnapshot. Updates are single atomic adds whether or not this
+	// is set — the layers always count — so enabling collection does not
+	// change a run's behaviour.
+	Metrics bool
+	// MetricsAddr, when non-empty, additionally serves the per-process
+	// registries over HTTP at the given listen address (e.g.
+	// "127.0.0.1:0"): an expvar-style text dump at /metrics plus the
+	// standard net/http/pprof profiling endpoints under /debug/pprof/.
+	// Implies Metrics. MetricsAddr reports the bound address; the server
+	// shuts down with Close.
+	MetricsAddr string
 }
 
 // PersistOptions configures crash-recovery persistence (Options.Persist).
@@ -237,6 +261,16 @@ type Cluster struct {
 	// (index 0 unused, nil otherwise); Restart reopens stores[p] for the
 	// next incarnation.
 	stores []persist.Store
+
+	// tracer is the shared lifecycle recorder under Options.Trace (nil
+	// otherwise; Event.P identifies the recording process). regs holds each
+	// process's metrics registry under Options.Metrics (index 0 unused; the
+	// slice itself is nil when metrics are off). msrv is the HTTP exporter
+	// under Options.MetricsAddr. All survive Restart: a new incarnation
+	// keeps recording into the same trace and registry.
+	tracer *trace.Recorder
+	regs   []*metrics.Registry
+	msrv   *metrics.Server
 
 	// members mirrors the intended group under Options.Membership: the
 	// initial set plus every Join/Leave issued through the Cluster. It picks
@@ -322,6 +356,15 @@ func New(n int, opts Options) (*Cluster, error) {
 		c.members = append([]int(nil), opts.Membership...)
 		sort.Ints(c.members)
 	}
+	if opts.Trace {
+		c.tracer = trace.New()
+	}
+	if opts.Metrics || opts.MetricsAddr != "" {
+		c.regs = make([]*metrics.Registry, n+1)
+		for i := 1; i <= n; i++ {
+			c.regs[i] = metrics.New()
+		}
+	}
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
 	for i := 1; i <= n; i++ {
@@ -344,7 +387,28 @@ func New(n int, opts Options) (*Cluster, error) {
 		return nil, err
 	default:
 	}
+	if opts.MetricsAddr != "" {
+		named := make(map[string]*metrics.Registry, n)
+		for i := 1; i <= n; i++ {
+			named[fmt.Sprintf("p%d", i)] = c.regs[i]
+		}
+		srv, err := metrics.Serve(opts.MetricsAddr, named)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.msrv = srv
+	}
 	return c, nil
+}
+
+// reg returns process i's metrics registry (nil when metrics are off —
+// the layers then hold standalone handles).
+func (c *Cluster) reg(i int) *metrics.Registry {
+	if c.regs == nil {
+		return nil
+	}
+	return c.regs[i]
 }
 
 // sameSitePeers returns p's co-located peers under the topology (nil for a
@@ -376,7 +440,9 @@ func openStore(po *PersistOptions, p int) (persist.Store, error) {
 // when persistence is on. Runs on i's event loop — at startup via New's
 // wiring closures, and again from Restart.
 func (c *Cluster) wire(i int, node *stack.Node) error {
-	c.dets[i] = fd.NewHeartbeat(node, c.hb)
+	hb := c.hb
+	hb.Metrics = c.reg(i)
+	c.dets[i] = fd.NewHeartbeat(node, hb)
 	var rcfg *core.RecoverConfig
 	if c.opts.Recovery || c.opts.Snapshot || c.opts.Persist != nil {
 		rcfg = &core.RecoverConfig{Snapshot: c.opts.Snapshot}
@@ -403,6 +469,8 @@ func (c *Cluster) wire(i int, node *stack.Node) error {
 		Recover:  rcfg,
 		Persist:  pcfg,
 		Members:  c.coreMembers,
+		Trace:    c.tracer,
+		Metrics:  c.reg(i),
 		Deliver: func(app *msg.App) {
 			d := Delivery{
 				Sender:  int(app.ID.Sender),
@@ -544,6 +612,18 @@ type Stats struct {
 	// membership change when they deliver it, so a lagging process may
 	// briefly report an older view than its peers.
 	Members []int
+	// Retransmitted, Duplicates and Evicted are the recovery link layer's
+	// repair counters: envelope re-sends triggered by anti-entropy digests,
+	// received envelopes dropped as already delivered, and buffered
+	// envelopes discarded unacknowledged. All zero without Options.Recovery.
+	Retransmitted int64
+	Duplicates    int64
+	Evicted       int64
+	// Checkpoints and Prunes count persistence activity: checkpoints
+	// written and bounded-memory prune passes. Both zero without
+	// Options.Persist.
+	Checkpoints int
+	Prunes      int
 }
 
 // Stats returns process p's counters, or ok=false if p is out of range or
@@ -579,6 +659,11 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 				out.Members[j] = int(q)
 			}
 		}
+		ls := c.engines[p].LinkStats()
+		out.Retransmitted = ls.Retransmitted
+		out.Duplicates = ls.Duplicates
+		out.Evicted = ls.Evicted
+		out.Checkpoints, out.Prunes, _ = c.engines[p].PersistStats()
 		ch <- out
 	})
 	select {
@@ -587,6 +672,55 @@ func (c *Cluster) Stats(p int, timeout time.Duration) (Stats, bool) {
 	case <-time.After(timeout):
 		return Stats{}, false
 	}
+}
+
+// WriteTrace writes the lifecycle trace recorded so far in the given
+// format: "jsonl" (one JSON object per event, fixed field order — two runs
+// that record the same events export identical bytes) or "chrome" (Chrome
+// trace_event JSON for chrome://tracing / Perfetto). Requires
+// Options.Trace. Safe while the cluster runs: it snapshots the events
+// recorded so far.
+func (c *Cluster) WriteTrace(w io.Writer, format string) error {
+	if c.tracer == nil {
+		return fmt.Errorf("abcast: tracing not enabled (Options.Trace)")
+	}
+	switch format {
+	case "jsonl":
+		return c.tracer.WriteJSONL(w)
+	case "chrome":
+		return c.tracer.WriteChrome(w)
+	default:
+		return fmt.Errorf("abcast: unknown trace format %q (want jsonl or chrome)", format)
+	}
+}
+
+// TraceEvents returns a copy of the lifecycle events recorded so far (nil
+// without Options.Trace), in arrival order.
+func (c *Cluster) TraceEvents() []trace.Event {
+	return c.tracer.Events()
+}
+
+// MetricsSnapshot returns process p's metric catalog as name → value
+// (histograms expand to .count/.sum/bucket cells). Requires
+// Options.Metrics (or MetricsAddr). Safe while the cluster runs — cells
+// are atomics — though a snapshot taken mid-run is not a consistent cut.
+func (c *Cluster) MetricsSnapshot(p int) (map[string]int64, error) {
+	if c.regs == nil {
+		return nil, fmt.Errorf("abcast: metrics not enabled (Options.Metrics)")
+	}
+	if p < 1 || p > c.n {
+		return nil, fmt.Errorf("abcast: process %d out of range 1..%d", p, c.n)
+	}
+	return c.regs[p].Snapshot(), nil
+}
+
+// MetricsAddr returns the bound address of the HTTP metrics/profiling
+// endpoint, or "" when Options.MetricsAddr was not set.
+func (c *Cluster) MetricsAddr() string {
+	if c.msrv == nil {
+		return ""
+	}
+	return c.msrv.Addr()
 }
 
 // Crash stops process p (it handles no further events; in-flight messages
@@ -647,6 +781,9 @@ func (c *Cluster) reopenStore(p int) (persist.Store, error) {
 
 // Close shuts the cluster down and waits for all process goroutines.
 func (c *Cluster) Close() {
+	if c.msrv != nil {
+		c.msrv.Close()
+	}
 	c.net.Close()
 	for _, q := range c.queues[1:] {
 		q.close()

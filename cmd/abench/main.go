@@ -37,6 +37,14 @@
 // (backlog-driven pipeline width and MaxBatch, RTT-driven anti-entropy
 // cadence) on every process — figure p2 is the built-in comparison of the
 // controller against hand-picked static widths under ramped load.
+//
+// Observability: -trace <file> runs every selected figure with lifecycle
+// tracing on and writes the recordings — JSONL by default (byte-identical
+// across identical runs), Chrome trace_event when the file name ends in
+// .json (open in chrome://tracing or Perfetto); traced runs also report the
+// per-stage latency decomposition (figure o1 is the built-in traced sweep).
+// -cpuprofile and -memprofile write standard pprof profiles of the abench
+// process itself for `go tool pprof`.
 package main
 
 import (
@@ -44,6 +52,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -71,9 +81,37 @@ func run(out io.Writer, args []string) error {
 		recovery  = fs.Bool("recover", false, "enable the recovery subsystem (retransmission, decide-relay, payload fetch) on every figure")
 		snapshot  = fs.Bool("snapshot", false, "enable snapshot state transfer for deep catch-up on every figure (implies -recover)")
 		adaptive  = fs.Bool("adaptive", false, "enable the adaptive control plane (backlog-driven pipeline width and MaxBatch, RTT-driven anti-entropy cadence) on every figure")
+		traceOut  = fs.String("trace", "", "trace every selected figure's runs and write the lifecycle events to this file (.json suffix → Chrome trace_event for chrome://tracing, anything else → JSONL)")
+		cpuOut    = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memOut    = fs.String("memprofile", "", "write an allocation profile taken at exit to this file (inspect with go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "abench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows what's retained
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "abench:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, id := range bench.FigureIDs() {
@@ -85,7 +123,7 @@ func run(out io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
 	}
-	override, err := buildOverride(*topo, *partition, *recovery, *snapshot, *adaptive)
+	override, err := buildOverride(*topo, *partition, *recovery, *snapshot, *adaptive, *traceOut != "")
 	if err != nil {
 		return err
 	}
@@ -110,22 +148,52 @@ func run(out io.Writer, args []string) error {
 		}
 		specs = append(specs, spec)
 	}
-	if *jsonOut {
-		return bench.RunSpecsJSON(out, specs, *scale, *seed)
+	if *traceOut == "" {
+		if *jsonOut {
+			return bench.RunSpecsJSON(out, specs, *scale, *seed)
+		}
+		for _, spec := range specs {
+			if err := bench.RunSpecAndPrint(out, spec, *scale, *seed); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	for _, spec := range specs {
-		if err := bench.RunSpecAndPrint(out, spec, *scale, *seed); err != nil {
+	// Traced path: keep the full figures so their recordings can be
+	// exported after the normal table/JSON output.
+	figsRun, err := bench.RunSpecs(specs, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := bench.WriteJSON(out, figsRun, *scale, *seed); err != nil {
 			return err
 		}
+	} else {
+		for _, f := range figsRun {
+			f.Print(out)
+		}
 	}
-	return nil
+	format := "jsonl"
+	if strings.HasSuffix(*traceOut, ".json") {
+		format = "chrome"
+	}
+	tf, err := os.Create(*traceOut)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	return bench.WriteTraces(tf, figsRun, format)
 }
 
-// buildOverride turns the -topo, -partition, -recover, -snapshot and
-// -adaptive flags into an experiment post-processor (nil when no flag is
-// set).
-func buildOverride(topo, partition string, recovery, snapshot, adaptive bool) (func(*bench.Experiment), error) {
+// buildOverride turns the -topo, -partition, -recover, -snapshot,
+// -adaptive and -trace flags into an experiment post-processor (nil when
+// no flag is set).
+func buildOverride(topo, partition string, recovery, snapshot, adaptive, traced bool) (func(*bench.Experiment), error) {
 	var steps []func(*bench.Experiment)
+	if traced {
+		steps = append(steps, func(e *bench.Experiment) { e.Trace = true })
+	}
 	if recovery || snapshot {
 		steps = append(steps, func(e *bench.Experiment) {
 			e.Recovery = true

@@ -1,0 +1,106 @@
+// Command benchgate enforces the repository's allocation budgets: it reads
+// `go test -bench -benchmem` output on stdin, extracts each budgeted
+// benchmark's allocs/op, and fails when a measurement exceeds its budget by
+// more than the tolerance (default 10%). The budgets live in
+// bench_budgets.json at the repository root; CI pipes the three hot-path
+// benchmarks through this gate so an accidental allocation on the ordering,
+// consensus or link fast path fails the build instead of landing silently.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'OrderedDelivery|InstanceDecide|SendDispatch' \
+//	    -benchtime 1x -benchmem ./internal/... | benchgate -budgets bench_budgets.json
+//
+// The gated benchmarks run a fixed deterministic workload, so allocs/op is
+// exact and stable at -benchtime 1x; the tolerance absorbs Go-runtime
+// variation across toolchain versions, not noise. Every budgeted benchmark
+// must appear in the input — a silently skipped benchmark fails the gate.
+// After an intentional change, refresh the budget with the measured value.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one -benchmem result line, capturing the benchmark name
+// (GOMAXPROCS suffix stripped) and its allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+.*\s(\d+)\s+allocs/op`)
+
+func run(in io.Reader, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	budgetsPath := fs.String("budgets", "bench_budgets.json", "path to the allocation budgets file")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional overshoot before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*budgetsPath)
+	if err != nil {
+		return err
+	}
+	budgets := map[string]int64{}
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		return fmt.Errorf("parse %s: %w", *budgetsPath, err)
+	}
+	if len(budgets) == 0 {
+		return fmt.Errorf("%s declares no budgets", *budgetsPath)
+	}
+
+	measured := map[string]int64{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		allocs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad allocs/op on %q: %w", sc.Text(), err)
+		}
+		measured[m[1]] = allocs
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		budget := budgets[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(out, "FAIL %s: not found in benchmark output\n", name)
+			failed = true
+			continue
+		}
+		limit := int64(float64(budget) * (1 + *tolerance))
+		status := "ok  "
+		if got > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(out, "%s %s: %d allocs/op (budget %d, limit %d)\n", status, name, got, budget, limit)
+	}
+	if failed {
+		return fmt.Errorf("allocation budgets exceeded (see above); refresh bench_budgets.json only for intentional changes")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBudgets(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "budgets.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sampleOutput = `goos: linux
+BenchmarkEngineOrderedDelivery 	       1	   3457662 ns/op	  854416 B/op	   22577 allocs/op
+BenchmarkInstanceDecide-8 	       1	     40009 ns/op	   12080 B/op	     228 allocs/op
+ok  	abcast/internal/core	0.009s
+`
+
+func TestGatePasses(t *testing.T) {
+	p := writeBudgets(t, `{"BenchmarkEngineOrderedDelivery": 22577, "BenchmarkInstanceDecide": 228}`)
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &out, []string{"-budgets", p}); err != nil {
+		t.Fatalf("gate failed on budgeted output: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok   BenchmarkInstanceDecide: 228") {
+		t.Fatalf("missing per-benchmark report:\n%s", out.String())
+	}
+}
+
+func TestGateStripsGomaxprocsSuffix(t *testing.T) {
+	p := writeBudgets(t, `{"BenchmarkInstanceDecide": 228}`)
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &out, []string{"-budgets", p}); err != nil {
+		t.Fatalf("suffix form not matched: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// 228 → 260 is a 14% regression, beyond the 10% tolerance.
+	p := writeBudgets(t, `{"BenchmarkInstanceDecide": 228}`)
+	input := "BenchmarkInstanceDecide 	 1	 40009 ns/op	 12080 B/op	 260 allocs/op\n"
+	var out strings.Builder
+	err := run(strings.NewReader(input), &out, []string{"-budgets", p})
+	if err == nil {
+		t.Fatalf("14%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkInstanceDecide") {
+		t.Fatalf("no FAIL line:\n%s", out.String())
+	}
+}
+
+func TestGateAllowsWithinTolerance(t *testing.T) {
+	// 228 → 245 is ~7.5%, inside the 10% tolerance.
+	p := writeBudgets(t, `{"BenchmarkInstanceDecide": 228}`)
+	input := "BenchmarkInstanceDecide 	 1	 40009 ns/op	 12080 B/op	 245 allocs/op\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(input), &out, []string{"-budgets", p}); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	p := writeBudgets(t, `{"BenchmarkLinkSendDispatch": 80}`)
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &out, []string{"-budgets", p}); err == nil {
+		t.Fatal("budgeted benchmark absent from output but gate passed")
+	}
+}
+
+func TestGateRejectsEmptyBudgets(t *testing.T) {
+	p := writeBudgets(t, `{}`)
+	if err := run(strings.NewReader(sampleOutput), &strings.Builder{}, []string{"-budgets", p}); err == nil {
+		t.Fatal("empty budgets accepted")
+	}
+}

@@ -158,6 +158,11 @@
 //	                          Recovery+Snapshot): bounded memory via
 //	                          delivered-prefix pruning, Crash becomes
 //	                          reversible through Restart
+//	Trace       (off)         lifecycle span log per message, exported via
+//	                          WriteTrace (JSONL / Chrome trace_event)
+//	Metrics     (off)         per-process metric registries, readable via
+//	                          MetricsSnapshot; MetricsAddr adds the HTTP
+//	                          /metrics + pprof exporter
 //
 // # Dynamic membership
 //
@@ -264,6 +269,24 @@
 // below it (examples/restartable-kv shows the pattern). Figure r1
 // (`abench -fig r1`) measures restart-from-checkpoint against staying down
 // as a function of downtime.
+//
+// # Observability
+//
+// Options.Trace records every message's lifecycle — abroadcast, first
+// payload receipt, consensus propose/decide, ordering, adelivery, plus the
+// recovery events that repair a run — as typed spans stamped on each
+// process's own clock (internal/trace); Cluster.WriteTrace exports them as
+// byte-stable JSONL or Chrome trace_event JSON, and figure o1 decomposes
+// end-to-end latency into diffusion/consensus/queue stages from the same
+// events. Options.Metrics collects every layer's counters into per-process
+// registries (internal/metrics; Cluster.MetricsSnapshot), and
+// Options.MetricsAddr serves them with the standard pprof endpoints over
+// HTTP. Both planes are built so observation cannot perturb the run:
+// recording is an event-loop append with a nil-recorder fast path, and
+// counters are always-on atomic cells whether or not a registry collects
+// them — the pinned benchmark trajectory proves the instrumented stack
+// byte-identical with both off. docs/OPERATIONS.md carries the metric
+// catalog and the profiling workflow.
 //
 // The building blocks live under internal/: the ◇S consensus algorithms
 // (Chandra–Toueg and Mostéfaoui–Raynal) and their indirect adaptations,

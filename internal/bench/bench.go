@@ -27,6 +27,7 @@ import (
 	"abcast/internal/simnet"
 	"abcast/internal/stack"
 	"abcast/internal/stats"
+	"abcast/internal/trace"
 )
 
 // Experiment is one benchmark configuration point.
@@ -149,6 +150,15 @@ type Experiment struct {
 	// a CPU-saturated regime where per-message consensus cost dominates,
 	// making batching and pipeline widening distinguishable.
 	ProcDelays simnet.ProcessingDelays
+
+	// Trace records every message's lifecycle events (abroadcast, receipt,
+	// propose, decide, ordered, adeliver, plus recovery events) during the
+	// run. The recorder only appends to a buffer on the existing event
+	// paths — it never schedules or reads wall clocks — so a traced run's
+	// measurements are identical to an untraced one's. Result.TraceLog
+	// carries the recording and Result.Stages the per-stage latency
+	// decomposition computed from it (figure o1).
+	Trace bool
 }
 
 // ChurnEvent is one scheduled membership change of an experiment.
@@ -170,6 +180,34 @@ type Result struct {
 	BytesSent   int64
 	Virtual     time.Duration // simulated duration
 	Wall        time.Duration // host duration
+	// Stages decomposes the mean latency into its pipeline stages (nil
+	// unless Experiment.Trace). The three means sum to (approximately) the
+	// Latency mean over the same fully-delivered messages.
+	Stages *StageBreakdown
+	// TraceLog is the run's lifecycle recording (nil unless
+	// Experiment.Trace); export it with WriteJSONL or WriteChrome.
+	TraceLog *trace.Recorder
+}
+
+// StageBreakdown splits the mean abroadcast-to-adeliver latency into the
+// three stages every delivered message passes through, averaged — like the
+// latency metric itself — over all measured (message, process) pairs that
+// completed every stage.
+type StageBreakdown struct {
+	// DiffusionMs: abroadcast at the sender → payload receipt at the
+	// delivering process (reliable-broadcast propagation).
+	DiffusionMs float64
+	// ConsensusMs: payload receipt → the identifier's ordered-queue entry.
+	// Decisions are consumed in serial instance order, so this stage
+	// includes both the deciding instance's rounds and the wait for every
+	// earlier instance to be consumed — the component pipelining (W)
+	// attacks.
+	ConsensusMs float64
+	// QueueMs: ordered-queue entry → adeliver. Near zero in healthy runs
+	// (an ordered identifier whose payload is present delivers in the same
+	// step); it grows only when delivery stalls behind a missing payload
+	// (the fetch path) or an undelivered predecessor.
+	QueueMs float64
 }
 
 // Run executes one experiment on the simulator.
@@ -195,6 +233,12 @@ func Run(e Experiment) (Result, error) {
 	w := simnet.NewWorld(e.N, e.Params, e.Seed)
 	if len(e.ProcDelays) != 0 {
 		w.SetProcessingDelays(e.ProcDelays)
+	}
+	// One recorder shared by all processes (Event.P tells them apart); on
+	// the simulator's single event loop arrival order is deterministic.
+	var tr *trace.Recorder
+	if e.Trace {
+		tr = trace.New()
 	}
 
 	if len(e.PartitionMinority) > 0 && e.PartitionFrom > 0 && e.PartitionUntil > e.PartitionFrom {
@@ -265,6 +309,7 @@ func Run(e Experiment) (Result, error) {
 			Recover:      rcfg,
 			Persist:      pcfg,
 			Members:      members,
+			Trace:        tr,
 			Deliver: func(app *msg.App) {
 				// First delivery only: across a restart the suffix above the
 				// checkpoint redelivers (at-least-once), and latency measures
@@ -402,7 +447,85 @@ func Run(e Experiment) (Result, error) {
 		BytesSent:   w.BytesSent(),
 		Virtual:     end,
 		Wall:        time.Since(start), //abcheck:ignore walltime host-side run time for logs; excluded from byte-stable output.
+		Stages:      stageBreakdown(tr, ids, procs),
+		TraceLog:    tr,
 	}, nil
+}
+
+// stageBreakdown computes the per-stage latency decomposition from a run's
+// trace: for every measured message and measured process whose chain
+// completed (abroadcast → receive → ordered → adeliver, first occurrence
+// each), the three stage durations are averaged the same way the latency
+// metric averages end-to-end time. Returns nil without a trace or when no
+// chain completed.
+func stageBreakdown(tr *trace.Recorder, ids []msg.ID, procs []int) *StageBreakdown {
+	if tr == nil {
+		return nil
+	}
+	broadcastAt := make(map[msg.ID]time.Time)
+	type stamp struct{ receive, ordered, adeliver time.Time }
+	stamps := make(map[stack.ProcessID]map[msg.ID]*stamp)
+	at := func(p stack.ProcessID, id msg.ID) *stamp {
+		m := stamps[p]
+		if m == nil {
+			m = make(map[msg.ID]*stamp)
+			stamps[p] = m
+		}
+		s := m[id]
+		if s == nil {
+			s = &stamp{}
+			m[id] = s
+		}
+		return s
+	}
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case trace.KindABroadcast:
+			if _, ok := broadcastAt[ev.ID]; !ok {
+				broadcastAt[ev.ID] = ev.At
+			}
+		case trace.KindReceive:
+			if s := at(ev.P, ev.ID); s.receive.IsZero() {
+				s.receive = ev.At
+			}
+		case trace.KindOrdered:
+			if s := at(ev.P, ev.ID); s.ordered.IsZero() {
+				s.ordered = ev.At
+			}
+		case trace.KindADeliver:
+			if s := at(ev.P, ev.ID); s.adeliver.IsZero() {
+				s.adeliver = ev.At
+			}
+		}
+	}
+	var diffusion, consensus, queue float64
+	n := 0
+	// ids arrive pre-sorted, so accumulation order — and the float sums —
+	// are deterministic.
+	for _, id := range ids {
+		t0, ok := broadcastAt[id]
+		if !ok {
+			continue
+		}
+		for _, p := range procs {
+			s := stamps[stack.ProcessID(p)][id]
+			if s == nil || s.receive.IsZero() || s.ordered.IsZero() || s.adeliver.IsZero() {
+				continue
+			}
+			diffusion += float64(s.receive.Sub(t0)) / float64(time.Millisecond)
+			consensus += float64(s.ordered.Sub(s.receive)) / float64(time.Millisecond)
+			queue += float64(s.adeliver.Sub(s.ordered)) / float64(time.Millisecond)
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	return &StageBreakdown{
+		DiffusionMs: diffusion / float64(n),
+		ConsensusMs: consensus / float64(n),
+		QueueMs:     queue / float64(n),
+	}
 }
 
 // virt returns the current virtual time as a duration since simulation

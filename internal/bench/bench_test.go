@@ -128,6 +128,7 @@ func TestFiguresComplete(t *testing.T) {
 		"m1",
 		"c1",
 		"r1",
+		"o1",
 	}
 	// Most figures compare two stacks over ≥4 x values; g3 is the recovery
 	// comparison (off / on / on-with-tiny-buffers), g4 the deep-lag one

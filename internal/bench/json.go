@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"abcast/internal/trace"
 )
 
 // The JSON output is the machine-readable face of the harness: one object
@@ -30,6 +32,17 @@ type JSONPoint struct {
 	MsgsSent      int64   `json:"msgs_sent"`
 	BytesSent     int64   `json:"bytes_sent"`
 	VirtualMs     float64 `json:"virtual_ms"`
+	// Stages is the per-stage latency decomposition of traced runs
+	// (figure o1); omitted — keeping untraced figures' bytes unchanged —
+	// when the experiment did not trace.
+	Stages *JSONStages `json:"stages,omitempty"`
+}
+
+// JSONStages mirrors StageBreakdown in machine-readable form.
+type JSONStages struct {
+	DiffusionMs float64 `json:"diffusion_ms"`
+	ConsensusMs float64 `json:"consensus_ms"`
+	QueueMs     float64 `json:"queue_ms"`
 }
 
 // JSONSeries is one curve.
@@ -72,6 +85,14 @@ func (f Figure) ToJSON(scale float64, seed int64) JSONFigure {
 		series := JSONSeries{Label: s.Label, Points: []JSONPoint{}}
 		for _, p := range f.Series[s.Label] {
 			r := p.Result
+			var stages *JSONStages
+			if r.Stages != nil {
+				stages = &JSONStages{
+					DiffusionMs: r.Stages.DiffusionMs,
+					ConsensusMs: r.Stages.ConsensusMs,
+					QueueMs:     r.Stages.QueueMs,
+				}
+			}
 			series.Points = append(series.Points, JSONPoint{
 				X:             p.X,
 				MeanMs:        r.Latency.Mean,
@@ -87,6 +108,7 @@ func (f Figure) ToJSON(scale float64, seed int64) JSONFigure {
 				MsgsSent:      r.MsgsSent,
 				BytesSent:     r.BytesSent,
 				VirtualMs:     float64(r.Virtual) / float64(time.Millisecond),
+				Stages:        stages,
 			})
 		}
 		out.Series = append(out.Series, series)
@@ -112,13 +134,74 @@ func RunJSON(w io.Writer, ids []string, scale float64, seed int64) error {
 // RunSpecsJSON regenerates explicit figure specs (possibly carrying
 // overrides) and writes them as one indented JSON array.
 func RunSpecsJSON(w io.Writer, specs []FigureSpec, scale float64, seed int64) error {
-	out := make([]JSONFigure, 0, len(specs))
+	figs, err := RunSpecs(specs, scale, seed)
+	if err != nil {
+		return err
+	}
+	return WriteJSON(w, figs, scale, seed)
+}
+
+// RunSpecs regenerates explicit figure specs (possibly carrying overrides),
+// returning the figures with their full results — including any lifecycle
+// trace recordings — for callers that need more than the JSON projection
+// (cmd/abench -trace).
+func RunSpecs(specs []FigureSpec, scale float64, seed int64) ([]Figure, error) {
+	out := make([]Figure, 0, len(specs))
 	for _, spec := range specs {
 		fig, err := spec.Run(scale, seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out = append(out, fig.ToJSON(scale, seed))
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// WriteTraces exports the lifecycle recordings of every traced run of the
+// figures, in declaration order (figure, then stack, then x). Format
+// "jsonl" concatenates the runs' JSONL exports, each run's timestamps
+// relative to its own first event — identical traced runs produce
+// identical bytes. Format "chrome" merges all events into one Chrome
+// trace_event document for chrome://tracing / Perfetto (runs share the
+// simulator's virtual timebase, so their rows overlap).
+func WriteTraces(w io.Writer, figs []Figure, format string) error {
+	var recs []*trace.Recorder
+	for _, f := range figs {
+		for _, s := range f.Spec.Stacks {
+			for _, p := range f.Series[s.Label] {
+				if p.Result.TraceLog != nil {
+					recs = append(recs, p.Result.TraceLog)
+				}
+			}
+		}
+	}
+	switch format {
+	case "jsonl":
+		for _, r := range recs {
+			if err := r.WriteJSONL(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "chrome":
+		merged := trace.New()
+		for _, r := range recs {
+			for _, ev := range r.Events() {
+				merged.Record(ev)
+			}
+		}
+		return merged.WriteChrome(w)
+	default:
+		return fmt.Errorf("bench: unknown trace format %q (want jsonl or chrome)", format)
+	}
+}
+
+// WriteJSON writes regenerated figures as one indented JSON array — the
+// byte-stable archive format of cmd/abench -json.
+func WriteJSON(w io.Writer, figs []Figure, scale float64, seed int64) error {
+	out := make([]JSONFigure, 0, len(figs))
+	for _, f := range figs {
+		out = append(out, f.ToJSON(scale, seed))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

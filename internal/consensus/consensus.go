@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"abcast/internal/fd"
+	"abcast/internal/metrics"
 	"abcast/internal/stack"
 )
 
@@ -154,6 +155,12 @@ type Config struct {
 	// always accepted — they are self-certifying). Nil = the static full
 	// group 1..N.
 	ViewAt func(k uint64) []stack.ProcessID
+	// Metrics, when non-nil, is the registry the service's counters
+	// (consensus.*) register into. Nil leaves them standalone — the
+	// OpenTraffic/RelayCount/DeepLagCount views work either way, and
+	// counter updates never allocate or schedule, so enabling a registry
+	// cannot perturb a simulated run.
+	Metrics *metrics.Registry
 }
 
 // Relay defaults.
@@ -188,10 +195,11 @@ type Service struct {
 	pendingOpen map[stack.ProcessID][]uint64
 	flushArmed  bool
 
-	// Beacon traffic accounting, surfaced through OpenTraffic.
-	opensAnnounced   int
-	opensPiggybacked int
-	opensStandalone  int
+	// Beacon traffic accounting, surfaced through OpenTraffic. The cells
+	// register into Config.Metrics when one is set.
+	opensAnnounced   *metrics.Counter
+	opensPiggybacked *metrics.Counter
+	opensStandalone  *metrics.Counter
 
 	// Decide-relay state (Config.Relay): the bounded decision log, the
 	// per-peer rate limiter, and a counter surfaced through RelayCount.
@@ -199,8 +207,8 @@ type Service struct {
 	decLow     uint64 // lowest retained decision (0 = log empty)
 	maxDecided uint64
 	lastRelay  map[stack.ProcessID]time.Time
-	relaysSent int
-	deepLags   int // deep-lag detections handed to OnDeepLag
+	relaysSent *metrics.Counter
+	deepLags   *metrics.Counter // deep-lag detections handed to OnDeepLag
 }
 
 // NewService wires a consensus service into the node.
@@ -221,6 +229,12 @@ func NewService(node *stack.Node, cfg Config) (*Service, error) {
 		cfg:         cfg,
 		insts:       make(map[uint64]*instance),
 		pendingOpen: make(map[stack.ProcessID][]uint64),
+
+		opensAnnounced:   cfg.Metrics.Counter("consensus.opens_announced"),
+		opensPiggybacked: cfg.Metrics.Counter("consensus.opens_piggybacked"),
+		opensStandalone:  cfg.Metrics.Counter("consensus.opens_standalone"),
+		relaysSent:       cfg.Metrics.Counter("consensus.relays_sent"),
+		deepLags:         cfg.Metrics.Counter("consensus.deep_lags"),
 	}
 	if cfg.Relay {
 		s.decisions = make(map[uint64]Value)
@@ -288,7 +302,7 @@ func (s *Service) Open(k uint64) {
 			}
 			if !containsU64(s.pendingOpen[q], k) {
 				s.pendingOpen[q] = append(s.pendingOpen[q], k)
-				s.opensAnnounced++
+				s.opensAnnounced.Inc()
 			}
 		}
 		s.armOpenFlush()
@@ -300,7 +314,7 @@ func (s *Service) Open(k uint64) {
 		}
 		if !containsU64(s.pendingOpen[q], k) {
 			s.pendingOpen[q] = append(s.pendingOpen[q], k)
-			s.opensAnnounced++
+			s.opensAnnounced.Inc()
 		}
 	}
 	s.armOpenFlush()
@@ -342,7 +356,7 @@ func (s *Service) flushOpens() {
 		if len(opens) == 0 {
 			continue
 		}
-		s.opensStandalone += len(opens)
+		s.opensStandalone.Add(int64(len(opens)))
 		s.proto.Send(q, opens[0], OpenMsg{Also: opens[1:]})
 	}
 }
@@ -376,7 +390,7 @@ func (s *Service) takeOpens(q stack.ProcessID) []uint64 {
 func (s *Service) send(q stack.ProcessID, k uint64, m stack.Message) {
 	if q != s.proto.Ctx().ID() {
 		if opens := s.takeOpens(q); len(opens) > 0 {
-			s.opensPiggybacked += len(opens)
+			s.opensPiggybacked.Add(int64(len(opens)))
 			s.proto.Send(q, k, PiggyMsg{Opens: opens, M: m})
 			return
 		}
@@ -466,7 +480,7 @@ func (s *Service) broadcastOthers(k uint64, m stack.Message) {
 // message-count reduction over the naive scheme (which always paid
 // standalone == announced).
 func (s *Service) OpenTraffic() (announced, piggybacked, standalone int) {
-	return s.opensAnnounced, s.opensPiggybacked, s.opensStandalone
+	return int(s.opensAnnounced.Value()), int(s.opensPiggybacked.Value()), int(s.opensStandalone.Value())
 }
 
 // containsU64 reports whether xs contains k (the pending lists are a few
@@ -681,7 +695,7 @@ func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
 	}
 	s.lastRelay[q] = now
 	if k < s.decLow && s.cfg.OnDeepLag != nil {
-		s.deepLags++
+		s.deepLags.Inc()
 		s.cfg.OnDeepLag(q, k)
 		return
 	}
@@ -711,7 +725,7 @@ func (s *Service) maybeRelay(q stack.ProcessID, k uint64) {
 			sent++
 		}
 	}
-	s.relaysSent += sent
+	s.relaysSent.Add(int64(sent))
 }
 
 // Introduce hands a freshly joined process the decision history: a direct
@@ -728,11 +742,11 @@ func (s *Service) Introduce(q stack.ProcessID) {
 
 // RelayCount reports how many decisions the decide-relay has re-sent (for
 // tests and diagnostics).
-func (s *Service) RelayCount() int { return s.relaysSent }
+func (s *Service) RelayCount() int { return int(s.relaysSent.Value()) }
 
 // DeepLagCount reports how many deep-lag detections were handed to
 // Config.OnDeepLag (for tests and diagnostics).
-func (s *Service) DeepLagCount() int { return s.deepLags }
+func (s *Service) DeepLagCount() int { return int(s.deepLags.Value()) }
 
 // LogFloor returns the lowest serial number still retained by the
 // decide-relay's decision log (0 = log empty). A peer whose next-expected

@@ -108,10 +108,12 @@ func (e *Engine) Retarget(window, maxBatch int) {
 	if window == e.window && maxBatch == e.maxBatch {
 		return
 	}
-	e.retargets++
+	e.retargets.Inc()
 	grow := window > e.window
 	e.window = window
 	e.maxBatch = maxBatch
+	e.winGauge.Set(int64(e.window))
+	e.batchGauge.Set(int64(e.maxBatch))
 	if grow {
 		e.maybePropose()
 	}

@@ -36,12 +36,14 @@ import (
 	"abcast/internal/adapt"
 	"abcast/internal/consensus"
 	"abcast/internal/fd"
+	"abcast/internal/metrics"
 	"abcast/internal/msg"
 	"abcast/internal/persist"
 	"abcast/internal/rbcast"
 	"abcast/internal/relink"
 	"abcast/internal/stack"
 	"abcast/internal/stats"
+	"abcast/internal/trace"
 )
 
 // Variant selects an atomic broadcast stack.
@@ -167,6 +169,19 @@ type Config struct {
 	// must be held, in full, by at least one correct process at decision
 	// time).
 	OnDecision func(k uint64, v consensus.Value)
+	// Trace, when non-nil, records every message's lifecycle spans —
+	// abroadcast → receive → propose → decide → ordered → adeliver, plus
+	// the recovery events (retransmit, fetch, rediffuse, snapshot install,
+	// restart) — stamped with the process clock, which is virtual time on
+	// the simulator, so a trace is byte-reproducible under the seed. Nil
+	// (the default) records nothing: every hook is a nil-receiver check.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, is the registry the engine's counters and
+	// gauges (core.*, persist.*) register into; it is also handed down to
+	// the consensus and relink layers. Nil leaves every handle standalone —
+	// the Stats views work either way, and updates never allocate or
+	// schedule, so enabling a registry cannot perturb a simulated run.
+	Metrics *metrics.Registry
 }
 
 // Engine is the per-process atomic broadcast engine (Algorithm 1).
@@ -178,6 +193,18 @@ type Engine struct {
 	node *stack.Node // retained for view retargeting (dynamic membership)
 	rb   rbcast.Broadcaster
 	cons *consensus.Service
+
+	// Observability (Config.Trace / Config.Metrics): the possibly-nil span
+	// recorder and the engine's metric cells. Counter/gauge handles are
+	// always non-nil (standalone without a registry), so update sites need
+	// no gating; see internal/metrics and internal/trace.
+	tr           *trace.Recorder
+	broadcasts   *metrics.Counter
+	deliveredC   *metrics.Counter
+	decisions    *metrics.Counter
+	rediffusions *metrics.Counter
+	winGauge     *metrics.Gauge
+	batchGauge   *metrics.Gauge
 
 	seq uint64 // per-sender sequence numbers for id(m)
 
@@ -210,7 +237,7 @@ type Engine struct {
 	ctrl       *adapt.Controller
 	proposedAt map[uint64]time.Time
 	decLat     stats.Ewma
-	retargets  int
+	retargets  *metrics.Counter
 
 	// Recovery state (Config.Recover): the ProtoSync sending helper, the
 	// single outstanding fetch timer, the rotating fetch target, and a
@@ -224,8 +251,8 @@ type Engine struct {
 	syncArmed      bool
 	fetchAttempt   int
 	syncAttempt    int
-	fetches        int
-	syncReqs       int
+	fetches        *metrics.Counter
+	syncReqs       *metrics.Counter
 
 	// Snapshot state (Config.Recover.Snapshot): the ProtoSnapshot sending
 	// helper, the delivered-prefix log (delivery order with ordering
@@ -241,8 +268,8 @@ type Engine struct {
 	snapTotal    int
 	snapMore     bool
 	snapChunks   map[int][]SnapEntry
-	snapsServed  int
-	snapsDone    int
+	snapsServed  *metrics.Counter
+	snapsDone    *metrics.Counter
 
 	// Crash-recovery persistence state (Config.Persist): the checkpoint/WAL
 	// store, the compressed delivered digest (per-sender floors; the
@@ -260,9 +287,9 @@ type Engine struct {
 	linkReserve   uint64                     // WAL'd relink sequence reservation
 	prunedTo      uint64                     // boundary of the last prune round
 	restartProbes int                        // post-restart sync probes still owed
-	ckpts         int
-	prunes        int
-	persistErrs   int
+	ckpts         *metrics.Counter
+	prunes        *metrics.Counter
+	persistErrs   *metrics.Counter
 }
 
 // ordRec is one entry of the ordered/delivered sequences: an identifier plus
@@ -325,6 +352,23 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		needed:    make(map[uint64]bool),
 		pending:   make(map[uint64]consensus.Value),
 	}
+	// Metric handles before any init step that may bump them (rehydrate
+	// restores the delivered count; a failing store surfaces errors).
+	e.tr = cfg.Trace
+	e.broadcasts = cfg.Metrics.Counter("core.broadcasts")
+	e.deliveredC = cfg.Metrics.Counter("core.delivered")
+	e.decisions = cfg.Metrics.Counter("core.decisions")
+	e.fetches = cfg.Metrics.Counter("core.fetches")
+	e.syncReqs = cfg.Metrics.Counter("core.sync_requests")
+	e.rediffusions = cfg.Metrics.Counter("core.rediffusions")
+	e.retargets = cfg.Metrics.Counter("core.retargets")
+	e.snapsServed = cfg.Metrics.Counter("core.snapshots_served")
+	e.snapsDone = cfg.Metrics.Counter("core.snapshots_installed")
+	e.ckpts = cfg.Metrics.Counter("persist.checkpoints")
+	e.prunes = cfg.Metrics.Counter("persist.prunes")
+	e.persistErrs = cfg.Metrics.Counter("persist.errors")
+	e.winGauge = cfg.Metrics.Gauge("core.window")
+	e.batchGauge = cfg.Metrics.Gauge("core.max_batch")
 	if cfg.Adapt != nil {
 		e.initAdapt()
 	}
@@ -362,6 +406,7 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 	ccfg := consensus.Config{
 		Detector: cfg.Detector,
 		Decide:   e.onDecide,
+		Metrics:  cfg.Metrics,
 	}
 	if e.dynamic() {
 		ccfg.ViewAt = e.viewAt
@@ -412,6 +457,8 @@ func New(node *stack.Node, cfg Config) (*Engine, error) {
 		e.armCkpt()
 		e.armSyncReq()
 	}
+	e.winGauge.Set(int64(e.window))
+	e.batchGauge.Set(int64(e.maxBatch))
 	return e, nil
 }
 
@@ -427,6 +474,8 @@ func (e *Engine) ABroadcast(payload []byte) msg.ID {
 		ID:      msg.ID{Sender: e.ctx.ID(), Seq: e.seq},
 		Payload: payload,
 	}
+	e.broadcasts.Inc()
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindABroadcast, ID: app.ID})
 	e.rb.Broadcast(app)
 	return app.ID
 }
@@ -463,6 +512,7 @@ func (e *Engine) onRDeliver(app *msg.App) {
 		return
 	}
 	e.received[app.ID] = app
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindReceive, ID: app.ID})
 	delete(e.wanted, app.ID)
 	if !e.isDelivered(app.ID) && !e.inOrdered[app.ID] {
 		e.unordered.Add(app.ID)
@@ -542,6 +592,7 @@ func (e *Engine) maybePropose() {
 			// instances.
 			e.cons.Open(k)
 		}
+		e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindPropose, K: k, N: len(batch)})
 		switch e.cfg.Variant {
 		case VariantConsensusMsgs:
 			msgs := make([]*msg.App, 0, len(batch))
@@ -600,6 +651,12 @@ func (e *Engine) onDecide(k uint64, v consensus.Value) {
 	if e.cfg.OnDecision != nil {
 		e.cfg.OnDecision(k, v)
 	}
+	e.decisions.Inc()
+	if e.tr.Enabled() {
+		// idsOfValue allocates, so the batch size is computed only when a
+		// recorder is attached.
+		e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindDecide, K: k, N: len(idsOfValue(v))})
+	}
 	e.pending[k] = v
 	e.consumePending()
 	// Consumed instances are settled locally and our decide relay is out:
@@ -654,6 +711,7 @@ func (e *Engine) applyDecision(k uint64, v consensus.Value) {
 		for _, a := range mv.Msgs {
 			if e.received[a.ID] == nil {
 				e.received[a.ID] = a
+				e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindReceive, ID: a.ID})
 			}
 		}
 	}
@@ -664,6 +722,7 @@ func (e *Engine) applyDecision(k uint64, v consensus.Value) {
 		if !e.isDelivered(id) && !e.inOrdered[id] {
 			e.ordered = append(e.ordered, ordRec{id: id, k: k})
 			e.inOrdered[id] = true
+			e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindOrdered, ID: id, K: k})
 		}
 	}
 	e.tryDeliver()
@@ -685,6 +744,7 @@ func (e *Engine) tryDeliver() {
 		e.ordered = e.ordered[1:]
 		delete(e.inOrdered, rec.id)
 		e.markDelivered(rec.id)
+		e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindADeliver, ID: rec.id, K: rec.k})
 		if e.snapshotEnabled() {
 			// The delivered prefix, in order and with ordering serials, is
 			// what snapshot transfers ship; see snapshot.go.
@@ -758,15 +818,15 @@ func (e *Engine) Stats() Stats {
 		Unordered:    e.unordered.Len(),
 		DeliveredLog: len(e.deliveredLog),
 		LogBase:      e.logBase,
-		Checkpoints:  e.ckpts,
-		Prunes:       e.prunes,
+		Checkpoints:  int(e.ckpts.Value()),
+		Prunes:       int(e.prunes.Value()),
 		OrderedQ:     len(e.ordered),
 		Instances:    e.kNext - 1,
 		InFlight:     len(e.inFlight),
 		MaxInFlight:  e.maxInFlight,
 		Window:       e.window,
 		MaxBatch:     e.maxBatch,
-		Retargets:    e.retargets,
+		Retargets:    int(e.retargets.Value()),
 	}
 }
 

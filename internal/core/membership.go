@@ -49,6 +49,7 @@ import (
 	"abcast/internal/fd"
 	"abcast/internal/msg"
 	"abcast/internal/stack"
+	"abcast/internal/trace"
 )
 
 // DefaultConfigLag is the default delivery-point→quorum-switch distance. It
@@ -205,6 +206,8 @@ func (e *Engine) BroadcastConfig(ch msg.ConfigChange) msg.ID {
 		ID:     msg.ID{Sender: e.ctx.ID(), Seq: e.seq},
 		Config: &ch,
 	}
+	e.broadcasts.Inc()
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindABroadcast, ID: app.ID})
 	e.rb.Broadcast(app)
 	return app.ID
 }

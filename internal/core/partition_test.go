@@ -221,7 +221,7 @@ func TestPartitionDropRecoveryCatchesUp(t *testing.T) {
 						retrans += st.Retransmitted
 						evicted += st.Evicted
 						relays += c.engines[p].cons.RelayCount()
-						syncs += c.engines[p].syncReqs
+						syncs += int(c.engines[p].syncReqs.Value())
 					}
 					if retrans == 0 {
 						t.Fatalf("no link-layer retransmissions across a drop cut")

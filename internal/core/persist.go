@@ -52,6 +52,7 @@ import (
 	"abcast/internal/msg"
 	"abcast/internal/persist"
 	"abcast/internal/stack"
+	"abcast/internal/trace"
 )
 
 // DefaultCheckpointInterval is the default checkpoint cadence. Checkpoints
@@ -133,6 +134,7 @@ func (e *Engine) rehydrate(cp *persist.Checkpoint) {
 		e.deliveredLog[i] = ordRec{id: en.ID, k: en.K}
 	}
 	e.deliveredN = int(cp.LogBase) + len(cp.Entries)
+	e.deliveredC.Add(int64(e.deliveredN))
 	for _, fl := range cp.Floors {
 		e.delFloor[fl.Sender] = fl.Seq
 	}
@@ -152,6 +154,7 @@ func (e *Engine) rehydrate(cp *persist.Checkpoint) {
 	// live peer even under concurrent crashes, then the normal needsSync
 	// conditions take over.
 	e.restartProbes = 2 * e.ctx.N()
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindRestart, K: cp.Frontier, N: len(cp.Entries)})
 }
 
 // isDelivered reports whether the identifier has been adelivered here. Under
@@ -171,6 +174,7 @@ func (e *Engine) isDelivered(id msg.ID) bool {
 // the map holds only the out-of-order remainder and memory stays bounded.
 func (e *Engine) markDelivered(id msg.ID) {
 	e.deliveredN++
+	e.deliveredC.Inc()
 	if e.pstore == nil {
 		e.delivered[id] = true
 		return
@@ -214,7 +218,7 @@ func (e *Engine) onLinkReserve(limit uint64) {
 // errors: a failing store degrades restart fidelity, not live operation.
 func (e *Engine) logWAL(rec persist.WALRecord) {
 	if err := e.pstore.AppendWAL(rec); err != nil {
-		e.persistErrs++
+		e.persistErrs.Inc()
 		e.ctx.Logf("persist: WAL append: %v", err)
 	}
 }
@@ -243,16 +247,16 @@ func (e *Engine) checkpointNow() {
 		return
 	}
 	if err := e.pstore.SaveCheckpoint(e.buildCheckpoint(f)); err != nil {
-		e.persistErrs++
+		e.persistErrs.Inc()
 		e.ctx.Logf("persist: checkpoint: %v", err)
 		return
 	}
 	if err := e.pstore.TruncateWAL(); err != nil {
-		e.persistErrs++
+		e.persistErrs.Inc()
 		e.ctx.Logf("persist: truncate WAL: %v", err)
 	}
 	e.lastCkptF = f
-	e.ckpts++
+	e.ckpts.Inc()
 	e.noteFrontier(e.ctx.ID(), f)
 	e.sync.BroadcastOthers(0, FrontierMsg{Frontier: f})
 }
@@ -362,14 +366,14 @@ func (e *Engine) maybePrune() {
 	// prefix in the backing array, defeating the point.
 	e.deliveredLog = append([]ordRec(nil), e.deliveredLog[idx:]...)
 	e.logBase += uint64(idx)
-	e.prunes++
+	e.prunes.Inc()
 	e.cons.RaiseFloor(b)
 }
 
 // PersistStats reports persistence counters for tests and diagnostics:
 // checkpoints saved, prune rounds applied, and store errors surfaced.
 func (e *Engine) PersistStats() (ckpts, prunes, errs int) {
-	return e.ckpts, e.prunes, e.persistErrs
+	return int(e.ckpts.Value()), int(e.prunes.Value()), int(e.persistErrs.Value())
 }
 
 var _ stack.Message = FrontierMsg{}

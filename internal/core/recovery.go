@@ -33,6 +33,7 @@ import (
 	"abcast/internal/msg"
 	"abcast/internal/relink"
 	"abcast/internal/stack"
+	"abcast/internal/trace"
 )
 
 // RecoverConfig enables and tunes the recovery subsystem. Wiring it into a
@@ -139,7 +140,13 @@ func (m SupplyMsg) WireSize() int {
 // initRecovery wires the recovery subsystem into the engine (called from New
 // when cfg.Recover is set; the consensus-relay half is configured there).
 func (e *Engine) initRecovery(node *stack.Node) {
-	e.link = relink.New(node, e.cfg.Recover.Link)
+	// The link registers its counters and records retransmit spans through
+	// the engine's observability config; work on a copy so the engine-owned
+	// RecoverConfig stays as the caller tuned it.
+	lcfg := e.cfg.Recover.Link
+	lcfg.Metrics = e.cfg.Metrics
+	lcfg.Trace = e.tr
+	e.link = relink.New(node, lcfg)
 	e.sync = node.Proto(stack.ProtoSync)
 	node.Register(stack.ProtoSync, stack.HandlerFunc(e.onSync))
 	if e.cfg.Recover.Snapshot {
@@ -244,7 +251,8 @@ func (e *Engine) fetchTick() {
 		e.armFetch() // sole survivor of a shrunken view: retry later
 		return
 	}
-	e.fetches++
+	e.fetches.Inc()
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindFetch, Peer: q, N: len(missing)})
 	e.sync.Send(q, 0, FetchMsg{IDs: missing})
 	e.armFetch() // stay armed until nothing is missing
 }
@@ -349,7 +357,7 @@ func (e *Engine) syncTick() {
 		e.armSyncReq()
 		return
 	}
-	e.syncReqs++
+	e.syncReqs.Inc()
 	e.cons.RequestSync(q, e.kNext)
 	if e.restartProbes > 0 {
 		// A restarted engine probes a bounded number of peers for the tail
@@ -413,6 +421,8 @@ func (e *Engine) rediffuseTick() {
 		}
 		if app := e.received[id]; app != nil {
 			e.rb.Rebroadcast(app)
+			e.rediffusions.Inc()
+			e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindRediffuse, ID: id})
 			e.unorderedSince[id] = now // next offer no sooner than +delay
 			sent++
 		}

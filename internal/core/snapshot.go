@@ -53,6 +53,7 @@ import (
 
 	"abcast/internal/msg"
 	"abcast/internal/stack"
+	"abcast/internal/trace"
 )
 
 // Snapshot transfer defaults.
@@ -161,7 +162,7 @@ func (e *Engine) snapStallDelay() time.Duration { return 4 * e.fetchDelay() }
 // SnapshotStats reports snapshot counters for tests and diagnostics: rounds
 // served to lagging peers, and rounds installed locally.
 func (e *Engine) SnapshotStats() (served, installed int) {
-	return e.snapsServed, e.snapsDone
+	return int(e.snapsServed.Value()), int(e.snapsDone.Value())
 }
 
 // onDeepLag is the consensus.Config.OnDeepLag callback: peer q revealed
@@ -268,7 +269,7 @@ func (e *Engine) serveSnapshot(q stack.ProcessID, from uint64) {
 			Entries:  entries[lo:hi],
 		})
 	}
-	e.snapsServed++
+	e.snapsServed.Inc()
 }
 
 // decidedAt returns the element at absolute position i of this engine's
@@ -378,6 +379,7 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 		}
 		if !en.Missing && e.received[en.ID] == nil {
 			e.received[en.ID] = &msg.App{ID: en.ID, Payload: en.Payload, Config: en.Cfg}
+			e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindReceive, ID: en.ID})
 			delete(e.wanted, en.ID)
 		}
 		e.unordered.Remove(en.ID)
@@ -385,6 +387,7 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 		if !e.inOrdered[en.ID] {
 			e.ordered = append(e.ordered, ordRec{id: en.ID, k: en.K})
 			e.inOrdered[en.ID] = true
+			e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindOrdered, ID: en.ID, K: en.K})
 		}
 	}
 
@@ -414,7 +417,8 @@ func (e *Engine) installSnapshot(producer stack.ProcessID, boundary, start uint6
 	if e.kPropose < e.kNext {
 		e.kPropose = e.kNext
 	}
-	e.snapsDone++
+	e.snapsDone.Inc()
+	e.tr.Record(trace.Event{At: e.ctx.Now(), P: e.ctx.ID(), Kind: trace.KindSnapInstall, K: boundary, Peer: producer, N: len(entries)})
 
 	// Decisions already held at/after the boundary are now contiguous with
 	// it; consume them, release the settled consensus state, and deliver

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"abcast/internal/metrics"
 	"abcast/internal/stack"
 )
 
@@ -85,6 +86,10 @@ type Config struct {
 	TimeoutIncrement time.Duration
 	// MaxTimeout caps adaptation.
 	MaxTimeout time.Duration
+	// Metrics, when non-nil, is the registry the detector's counters (fd.*)
+	// register into; nil leaves them standalone. Counter updates never
+	// allocate or schedule, so enabling a registry cannot perturb a run.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns heartbeat parameters suitable for the simulated
@@ -114,6 +119,11 @@ type Heartbeat struct {
 	// non-monitored process is treated as permanently suspected (a retired
 	// member must never block a quorum wait).
 	dynamic bool
+
+	// Counter cells, registered under fd.* when Config.Metrics is set.
+	heartbeats   *metrics.Counter
+	suspicions   *metrics.Counter
+	unsuspicions *metrics.Counter
 }
 
 // MemberAware is implemented by detectors that can retarget their monitored
@@ -135,6 +145,10 @@ func NewHeartbeat(node *stack.Node, cfg Config) *Heartbeat {
 		suspected: make(map[stack.ProcessID]bool),
 		timeout:   make(map[stack.ProcessID]time.Duration),
 		cancelTO:  make(map[stack.ProcessID]func()),
+
+		heartbeats:   cfg.Metrics.Counter("fd.heartbeats_sent"),
+		suspicions:   cfg.Metrics.Counter("fd.suspicions"),
+		unsuspicions: cfg.Metrics.Counter("fd.unsuspicions"),
 	}
 	node.Register(stack.ProtoFD, stack.HandlerFunc(h.receive))
 	ctx := h.proto.Ctx()
@@ -206,6 +220,7 @@ func (h *Heartbeat) SetMembers(members []stack.ProcessID) {
 		delete(h.timeout, q)
 		if !h.suspected[q] {
 			h.suspected[q] = true
+			h.suspicions.Inc()
 			h.subs.notify(q, true)
 		}
 	}
@@ -220,6 +235,7 @@ func (h *Heartbeat) SetMembers(members []stack.ProcessID) {
 		h.timeout[q] = h.cfg.InitialTimeout
 		if h.suspected[q] {
 			h.suspected[q] = false
+			h.unsuspicions.Inc()
 			h.subs.notify(q, false)
 		}
 		h.armTimeout(q)
@@ -234,6 +250,7 @@ func (h *Heartbeat) tick() {
 		return
 	}
 	h.proto.BroadcastOthers(0, HeartbeatMsg{})
+	h.heartbeats.Inc()
 	h.cancelHB = h.proto.Ctx().SetTimer(h.cfg.Interval, h.tick)
 }
 
@@ -255,6 +272,7 @@ func (h *Heartbeat) receive(q stack.ProcessID, _ uint64, m stack.Message) {
 			to = h.cfg.MaxTimeout
 		}
 		h.timeout[q] = to
+		h.unsuspicions.Inc()
 		h.subs.notify(q, false)
 	}
 	h.armTimeout(q)
@@ -270,6 +288,7 @@ func (h *Heartbeat) armTimeout(q stack.ProcessID) {
 			return
 		}
 		h.suspected[q] = true
+		h.suspicions.Inc()
 		h.subs.notify(q, true)
 	})
 }

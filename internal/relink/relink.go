@@ -55,8 +55,10 @@ import (
 	"sort"
 	"time"
 
+	"abcast/internal/metrics"
 	"abcast/internal/stack"
 	"abcast/internal/stats"
+	"abcast/internal/trace"
 )
 
 // Config parameterizes a Link. The zero value selects the defaults.
@@ -101,6 +103,13 @@ type Config struct {
 	// one. The crash-recovery layer logs the limit write-ahead and feeds
 	// it back via StartSeq on restart.
 	OnReserve func(limit uint64)
+	// Metrics, when non-nil, is the registry the link counters (relink.*)
+	// register into; nil leaves them standalone (Stats works either way).
+	Metrics *metrics.Registry
+	// Trace, when non-nil, records a retransmit lifecycle event per digest
+	// that triggered re-sends. Nil (the default) records nothing and costs
+	// one pointer test.
+	Trace *trace.Recorder
 }
 
 // Defaults for the zero Config.
@@ -260,7 +269,17 @@ type Link struct {
 
 	timerArmed bool
 	cancelTick func()
-	stats      Stats
+	tr         *trace.Recorder
+
+	// Counter cells, registered under relink.* when Config.Metrics is set
+	// (standalone otherwise); Stats is a view over them.
+	sequenced     *metrics.Counter
+	retransmitted *metrics.Counter
+	evicted       *metrics.Counter
+	duplicates    *metrics.Counter
+	giveUps       *metrics.Counter
+	probes        *metrics.Counter
+	acks          *metrics.Counter
 }
 
 // rttAlpha is the smoothing gain of the per-stream round-trip estimate (the
@@ -280,6 +299,15 @@ func New(node *stack.Node, cfg Config) *Link {
 		cfg:  cfg.withDefaults(),
 		out:  make(map[stack.ProcessID]*outStream),
 		in:   make(map[stack.ProcessID]*inStream),
+		tr:   cfg.Trace,
+
+		sequenced:     cfg.Metrics.Counter("relink.sequenced"),
+		retransmitted: cfg.Metrics.Counter("relink.retransmitted"),
+		evicted:       cfg.Metrics.Counter("relink.evicted"),
+		duplicates:    cfg.Metrics.Counter("relink.duplicates"),
+		giveUps:       cfg.Metrics.Counter("relink.give_ups"),
+		probes:        cfg.Metrics.Counter("relink.probes"),
+		acks:          cfg.Metrics.Counter("relink.acks"),
 	}
 	l.reserve = l.cfg.StartSeq
 	node.Register(stack.ProtoLink, stack.HandlerFunc(l.receive))
@@ -290,7 +318,15 @@ func New(node *stack.Node, cfg Config) *Link {
 // Stats returns a snapshot of the link counters, including the smoothed
 // per-peer RTT of every outgoing stream measured so far.
 func (l *Link) Stats() Stats {
-	st := l.stats
+	st := Stats{
+		Sequenced:     l.sequenced.Value(),
+		Retransmitted: l.retransmitted.Value(),
+		Evicted:       l.evicted.Value(),
+		Duplicates:    l.duplicates.Value(),
+		GiveUps:       l.giveUps.Value(),
+		Probes:        l.probes.Value(),
+		Acks:          l.acks.Value(),
+	}
 	for q, os := range l.out {
 		if os.rtt.Seen() {
 			if st.RTTs == nil {
@@ -357,7 +393,7 @@ func (l *Link) Send(to stack.ProcessID, env stack.Envelope) {
 	os.entries = append(os.entries, &outEntry{env: env, lastSent: l.ctx.Now()})
 	os.live++
 	os.unanswered = 0 // fresh traffic re-earns the probe budget
-	l.stats.Sequenced++
+	l.sequenced.Inc()
 	for os.live > l.cfg.BufferCap {
 		l.evictOldest(os)
 	}
@@ -372,7 +408,7 @@ func (l *Link) evictOldest(os *outStream) {
 		if os.entries[i] != nil {
 			os.entries[i] = nil
 			os.live--
-			l.stats.Evicted++
+			l.evicted.Inc()
 			break
 		}
 	}
@@ -427,7 +463,7 @@ func (l *Link) onSeq(from stack.ProcessID, m SeqMsg) {
 	is := l.inFrom(from)
 	l.giveUpBelow(is, m.Low)
 	if m.Seq <= is.cum || is.have[m.Seq] {
-		l.stats.Duplicates++
+		l.duplicates.Inc()
 		is.ackDirty = true // re-digest so the sender stops resending
 		l.arm()
 		return
@@ -443,7 +479,7 @@ func (l *Link) onSeq(from stack.ProcessID, m SeqMsg) {
 				min = s
 			}
 		}
-		l.stats.GiveUps += int64(min - is.cum - 1)
+		l.giveUps.Add(int64(min - is.cum - 1))
 		is.cum = min
 		delete(is.have, min)
 		is.compact()
@@ -463,7 +499,7 @@ func (l *Link) giveUpBelow(is *inStream, low uint64) {
 		if is.have[s] {
 			delete(is.have, s)
 		} else {
-			l.stats.GiveUps++
+			l.giveUps.Inc()
 		}
 	}
 	is.cum = low - 1
@@ -524,9 +560,12 @@ func (l *Link) onAck(from stack.ProcessID, m AckMsg) {
 		}
 		seq := os.base + uint64(i)
 		e.lastSent = now
-		l.stats.Retransmitted++
+		l.retransmitted.Inc()
 		l.ctx.Send(from, stack.Envelope{Proto: stack.ProtoLink, Msg: SeqMsg{Seq: seq, Low: os.base, Env: e.env}})
 		burst++
+	}
+	if burst > 0 {
+		l.tr.Record(trace.Event{At: now, P: l.ctx.ID(), Kind: trace.KindRetransmit, Peer: from, N: burst})
 	}
 	if os.live > 0 {
 		l.arm()
@@ -551,7 +590,7 @@ func (l *Link) sendAck(to stack.ProcessID, is *inStream) {
 		have = append(have, s)
 	}
 	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
-	l.stats.Acks++
+	l.acks.Inc()
 	is.ackDirty = false
 	l.ctx.Send(to, stack.Envelope{Proto: stack.ProtoLink, Msg: AckMsg{Cum: is.cum, Have: have}})
 	if len(is.have) > 0 {
@@ -613,7 +652,7 @@ func (l *Link) tick() {
 			if os.probeAt.IsZero() {
 				os.probeAt = l.ctx.Now() // opens a probe→digest RTT exchange
 			}
-			l.stats.Probes++
+			l.probes.Inc()
 			l.ctx.Send(q, stack.Envelope{Proto: stack.ProtoLink, Msg: ProbeMsg{Max: os.next, Low: os.base}})
 			pending = true
 		}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"abcast/internal/metrics"
 	"abcast/internal/netmodel"
 	"abcast/internal/sim"
 	"abcast/internal/stack"
@@ -56,8 +57,10 @@ type World struct {
 	// via fmt.Printf when nil.
 	LogSink func(line string)
 
-	msgsSent  int64
-	bytesSent int64
+	// World-level traffic cells (simnet.msgs_sent / simnet.bytes_sent);
+	// standalone until SetMetrics hands them to a registry.
+	msgsSent  *metrics.Counter
+	bytesSent *metrics.Counter
 }
 
 type linkKey struct{ from, to stack.ProcessID }
@@ -66,11 +69,13 @@ type linkKey struct{ from, to stack.ProcessID }
 // parameters and deterministic seed.
 func NewWorld(n int, params netmodel.Params, seed int64) *World {
 	w := &World{
-		eng:     sim.NewEngine(seed),
-		params:  params,
-		procs:   make([]*Proc, n+1),
-		links:   make(map[linkKey]*sim.Resource, n*n),
-		dropped: make(map[stack.ProcessID]bool),
+		eng:       sim.NewEngine(seed),
+		params:    params,
+		procs:     make([]*Proc, n+1),
+		links:     make(map[linkKey]*sim.Resource, n*n),
+		dropped:   make(map[stack.ProcessID]bool),
+		msgsSent:  new(metrics.Counter),
+		bytesSent: new(metrics.Counter),
 	}
 	for i := 1; i <= n; i++ {
 		p := &Proc{
@@ -277,10 +282,21 @@ func (w *World) redeliverHeld() {
 	}
 }
 
+// SetMetrics registers the world's traffic counters (simnet.msgs_sent,
+// simnet.bytes_sent) into r, carrying over anything already counted. Call
+// before (or between) runs; counter updates never allocate or schedule, so
+// collection cannot perturb the simulation.
+func (w *World) SetMetrics(r *metrics.Registry) {
+	m, b := r.Counter("simnet.msgs_sent"), r.Counter("simnet.bytes_sent")
+	m.Add(w.msgsSent.Value())
+	b.Add(w.bytesSent.Value())
+	w.msgsSent, w.bytesSent = m, b
+}
+
 // MsgsSent and BytesSent report global traffic counters (network messages
 // only; local self-deliveries are excluded).
-func (w *World) MsgsSent() int64  { return w.msgsSent }
-func (w *World) BytesSent() int64 { return w.bytesSent }
+func (w *World) MsgsSent() int64  { return w.msgsSent.Value() }
+func (w *World) BytesSent() int64 { return w.bytesSent.Value() }
 
 func (w *World) link(from, to stack.ProcessID) *sim.Resource {
 	k := linkKey{from, to}
@@ -384,8 +400,8 @@ func (p *Proc) Send(to stack.ProcessID, env stack.Envelope) {
 		return
 	}
 	size := env.WireSize()
-	w.msgsSent++
-	w.bytesSent += int64(size)
+	w.msgsSent.Inc()
+	w.bytesSent.Add(int64(size))
 
 	// Sender CPU: serialize/enqueue.
 	_, cpuDone := p.cpu.Acquire(now, w.params.SendCost(size))

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"abcast/internal/metrics"
 	"abcast/internal/stack"
 	"abcast/internal/wire"
 )
@@ -37,6 +38,8 @@ type config struct {
 	seed        int64
 	dialBackoff time.Duration
 	dialTimeout time.Duration
+	metricsAddr string
+	metrics     *metrics.Registry
 }
 
 // WithSeed seeds the peer's random source.
@@ -44,6 +47,18 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
 // WithDialBackoff sets the redial interval (default 50ms).
 func WithDialBackoff(d time.Duration) Option { return func(c *config) { c.dialBackoff = d } }
+
+// WithMetrics attaches a metrics registry to the peer; wire it into the
+// protocol layers (e.g. core.Config.Metrics) so their counters land in it.
+// Without WithMetricsAddr it is only readable in-process via Metrics().
+func WithMetrics(r *metrics.Registry) Option { return func(c *config) { c.metrics = r } }
+
+// WithMetricsAddr starts an HTTP exporter on addr alongside the peer:
+// /metrics serves the peer's registry (prefixed "p<id>."), /debug/pprof/
+// serves the standard profiling endpoints. A registry is created if
+// WithMetrics did not supply one. Use MetricsAddr for the bound address
+// (useful with ":0"); the exporter shuts down with Close.
+func WithMetricsAddr(addr string) Option { return func(c *config) { c.metricsAddr = addr } }
 
 // Peer is one protocol process attached to a TCP group; it implements
 // stack.Context.
@@ -60,6 +75,9 @@ type Peer struct {
 	wg      sync.WaitGroup
 	crashed atomic.Bool
 	started atomic.Bool
+
+	reg  *metrics.Registry // nil when metrics are off
+	msrv *metrics.Server   // nil without WithMetricsAddr
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -93,6 +111,20 @@ func Listen(self stack.ProcessID, n int, addr string, opts ...Option) (*Peer, er
 		out:   make([]*outbound, n+1),
 		stop:  make(chan struct{}),
 		rng:   rand.New(rand.NewSource(cfg.seed + int64(self)*31337)),
+		reg:   cfg.metrics,
+	}
+	if cfg.metricsAddr != "" {
+		if p.reg == nil {
+			p.reg = metrics.New()
+		}
+		srv, err := metrics.Serve(cfg.metricsAddr, map[string]*metrics.Registry{
+			fmt.Sprintf("p%d", self): p.reg,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		p.msrv = srv
 	}
 	p.node = stack.NewNode(p)
 	return p, nil
@@ -100,6 +132,19 @@ func Listen(self stack.ProcessID, n int, addr string, opts ...Option) (*Peer, er
 
 // Addr returns the actual listening address (useful with ":0").
 func (p *Peer) Addr() string { return p.ln.Addr().String() }
+
+// Metrics returns the peer's metrics registry (nil when neither WithMetrics
+// nor WithMetricsAddr was used). Wire it into the protocol layers.
+func (p *Peer) Metrics() *metrics.Registry { return p.reg }
+
+// MetricsAddr returns the bound address of the HTTP exporter, or "" when
+// WithMetricsAddr was not used.
+func (p *Peer) MetricsAddr() string {
+	if p.msrv == nil {
+		return ""
+	}
+	return p.msrv.Addr()
+}
 
 // Node returns the protocol node for wiring layers (before Start).
 func (p *Peer) Node() *stack.Node { return p.node }
@@ -136,6 +181,9 @@ func (p *Peer) Close() error {
 	var err error
 	p.stopped.Do(func() {
 		close(p.stop)
+		if p.msrv != nil {
+			p.msrv.Close()
+		}
 		err = p.ln.Close()
 		p.inbox.close()
 		for _, o := range p.out {

@@ -2,6 +2,9 @@ package tcpnet
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -212,5 +215,44 @@ func TestWireRoundTrip(t *testing.T) {
 	set := dec.Est.(core.IDSetValue).Set
 	if !set.Contains(msg.ID{Sender: 3, Seq: 4}) || set.Len() != 2 {
 		t.Fatalf("id set mangled: %v", set)
+	}
+}
+
+func TestPeerMetricsExporter(t *testing.T) {
+	p, err := Listen(1, 1, "127.0.0.1:0", WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Metrics() == nil {
+		t.Fatal("WithMetricsAddr did not create a registry")
+	}
+	p.Metrics().Counter("core.delivered").Add(7)
+	base := "http://" + p.MetricsAddr()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "p1.core.delivered 7") {
+		t.Fatalf("/metrics missing counter line:\n%s", body)
+	}
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Fatal("exporter still serving after Close")
 	}
 }

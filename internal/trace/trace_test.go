@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"abcast/internal/msg"
+)
+
+func sampleEvents() []Event {
+	t0 := time.Unix(0, 0)
+	id := msg.ID{Sender: 1, Seq: 7}
+	return []Event{
+		{At: t0, P: 1, Kind: KindABroadcast, ID: id},
+		{At: t0.Add(200 * time.Microsecond), P: 2, Kind: KindReceive, ID: id},
+		{At: t0.Add(300 * time.Microsecond), P: 2, Kind: KindPropose, K: 1, N: 1},
+		{At: t0.Add(900 * time.Microsecond), P: 2, Kind: KindDecide, K: 1, N: 1},
+		{At: t0.Add(901 * time.Microsecond), P: 2, Kind: KindOrdered, ID: id, K: 1},
+		{At: t0.Add(902 * time.Microsecond), P: 2, Kind: KindADeliver, ID: id, K: 1},
+		{At: t0.Add(2 * time.Millisecond), P: 1, Kind: KindFetch, Peer: 3, N: 2},
+	}
+}
+
+func TestNilRecorderIsFreeAndSilent(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindABroadcast})
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained events")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder JSONL: err=%v len=%d", err, buf.Len())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(Event{Kind: KindADeliver, P: 3, K: 9})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder Record allocates %v per call", allocs)
+	}
+}
+
+func TestRecorderOrderAndCopy(t *testing.T) {
+	r := New()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	if r.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindABroadcast || evs[6].Kind != KindFetch {
+		t.Fatalf("arrival order not preserved: %v ... %v", evs[0].Kind, evs[6].Kind)
+	}
+	evs[0].Kind = KindRestart
+	if r.Events()[0].Kind != KindABroadcast {
+		t.Fatal("Events returned an aliased slice")
+	}
+}
+
+func TestWriteJSONLShape(t *testing.T) {
+	r := New()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 7", len(lines))
+	}
+	var first struct {
+		TNs  int64  `json:"t_ns"`
+		P    int    `json:"p"`
+		Kind string `json:"kind"`
+		ID   string `json:"id"`
+		K    uint64 `json:"k"`
+		Peer int    `json:"peer"`
+		N    int    `json:"n"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first.TNs != 0 || first.Kind != "abroadcast" || first.ID != "1:7" || first.P != 1 {
+		t.Fatalf("unexpected first line: %+v", first)
+	}
+	var last struct {
+		TNs  int64  `json:"t_ns"`
+		Kind string `json:"kind"`
+		Peer int    `json:"peer"`
+		N    int    `json:"n"`
+	}
+	if err := json.Unmarshal([]byte(lines[6]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.TNs != int64(2*time.Millisecond) || last.Kind != "fetch" || last.Peer != 3 || last.N != 2 {
+		t.Fatalf("unexpected last line: %+v", last)
+	}
+}
+
+func TestWriteJSONLByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		r := New()
+		for _, ev := range sampleEvents() {
+			r.Record(ev)
+		}
+		if err := r.WriteJSONL(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical recordings exported different JSONL bytes")
+	}
+}
+
+func TestWriteChromeParses(t *testing.T) {
+	r := New()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+			Args struct {
+				Name string `json:"name"`
+				ID   string `json:"id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	// 2 thread-name metadata events (p1, p2 appear; p3 only as a Peer) + 7.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("got %d trace events, want 9", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Args.Name != "p1" {
+		t.Fatalf("expected p1 thread metadata first, got %+v", doc.TraceEvents[0])
+	}
+	ev := doc.TraceEvents[2] // first real event
+	if ev.Name != "abroadcast" || ev.Ph != "i" || ev.Args.ID != "1:7" {
+		t.Fatalf("unexpected first instant event: %+v", ev)
+	}
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Ts != 2000 {
+		t.Fatalf("last ts = %v µs, want 2000", last.Ts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		KindABroadcast, KindReceive, KindPropose, KindDecide, KindOrdered,
+		KindADeliver, KindRetransmit, KindFetch, KindRediffuse,
+		KindSnapInstall, KindRestart,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatalf("unknown kind string: %q", Kind(99).String())
+	}
+}
